@@ -1,0 +1,49 @@
+// Ablation: cipher choice in the secure-transmission study.  The paper
+// measured scp with the 2002 protocol-2 default (3des-cbc); `scp -c` could
+// already pick faster ciphers.  This bench re-runs Tables 2-3 under each
+// cipher to show how much of the overhead is the cipher and how much is
+// structural (handshake, protocol processing).
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "net/transfer_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+
+  CliParser cli("bench_ablation_cipher",
+                "Tables 2-3 security overhead by SSH cipher");
+  cli.add_flag("csv", "emit CSV instead of the ASCII table");
+  cli.parse(argc, argv);
+
+  TextTable table({"network", "cipher", "scp 100 MB (s)", "scp 1000 MB (s)",
+                   "overhead 1000 MB"});
+  table.set_title(
+      "Security overhead by cipher (rcp baseline: the Tables 2-3 model)");
+  for (const auto& [name, link] :
+       {std::pair{"100 Mbps", net::fast_ethernet_link()},
+        std::pair{"1000 Mbps", net::gigabit_ethernet_link()}}) {
+    for (const std::string& cipher : net::known_ciphers()) {
+      net::HostProfile host = net::piii_866_host(link);
+      host.cipher = net::cipher_throughput(cipher);
+      const net::TransferModel model(host, link);
+      table.add_row(
+          {name, cipher,
+           format_grouped(
+               model.transfer_time_s(Megabytes(100), net::Protocol::kScp), 2),
+           format_grouped(
+               model.transfer_time_s(Megabytes(1000), net::Protocol::kScp), 2),
+           format_percent(model.security_overhead_pct(Megabytes(1000)))});
+    }
+    table.add_separator();
+  }
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  std::cout << "\nreading: once the cipher outruns the disk (arcfour, and "
+               "blowfish on 100 Mbps) the bulk overhead vanishes, but 2002 "
+               "deployments defaulted to 3des — the paper's measured regime "
+               "— and strong-crypto mandates keep the per-byte cost in "
+               "play, so scheduling around unnecessary crypto remains the "
+               "robust remedy.\n";
+  return 0;
+}

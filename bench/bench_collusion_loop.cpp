@@ -1,0 +1,93 @@
+// Flagship composition bench: a collusion attack *inside* the scheduling
+// loop.  A hostile resource domain has an allied client domain that
+// whitewashes its conduct.  The table maintainer decides the outcome:
+//
+//   Γ bridge (the paper's model): per-evaluator direct trust plus
+//   recommender-weighted reputation.  Honest client domains' own bad
+//   experiences dominate, and the colluder's praise is discounted by R.
+//
+//   pooled Beta baseline: one global opinion per domain, every rating
+//   counted equally — the colluder keeps the hostile domain's offered
+//   level inflated for everyone, and sensitive work keeps landing there
+//   under-protected.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/closed_loop.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+
+  CliParser cli("bench_collusion_loop",
+                "Collusion attack in the closed loop: Γ+R vs pooled Beta");
+  cli.add_int("rounds", 14, "scheduling rounds");
+  cli.add_int("tasks", 60, "tasks per round");
+  cli.add_int("seeds", 8, "independent runs to average");
+  cli.add_flag("csv", "emit CSV instead of the ASCII table");
+  cli.parse(argc, argv);
+
+  Rng topo_rng(3);
+  grid::RandomGridParams params;
+  params.machines = 6;
+  params.min_resource_domains = 3;
+  params.max_resource_domains = 3;
+  params.min_client_domains = 3;
+  params.max_client_domains = 3;
+  const grid::GridSystem grid = grid::make_random_grid(params, topo_rng);
+  // rd2 is hostile; cd2 is its ally and whitewashes it.
+  const std::vector<sim::DomainBehavior> rd_conduct = {
+      {5.6, 0.4}, {4.4, 0.4}, {1.6, 0.4}};
+  const std::vector<sim::DomainBehavior> cd_conduct = {
+      {5.0, 0.3}, {5.0, 0.3}, {5.0, 0.3}};
+
+  const auto run_arm = [&](sim::ClosedLoopConfig::TableMaintainer maintainer,
+                           bool with_collusion) {
+    RunningStats tail_exposure;
+    RunningStats hostile_level;
+    const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+    for (std::size_t seed = 0; seed < seeds; ++seed) {
+      sim::ClosedLoopConfig config;
+      config.rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+      config.tasks_per_round = static_cast<std::size_t>(cli.get_int("tasks"));
+      config.initial_level = trust::TrustLevel::kE;
+      config.maintainer = maintainer;
+      if (with_collusion) config.colluding_pairs.push_back({2, 2});
+      config.engine.alliance_discount = 0.1;
+      const sim::ClosedLoopResult run = sim::run_closed_loop(
+          grid, rd_conduct, cd_conduct, config, Rng(seed + 41));
+      for (std::size_t i = run.rounds.size() - 4; i < run.rounds.size(); ++i) {
+        tail_exposure.add(run.rounds[i].mean_residual_exposure_honest);
+      }
+      // The hostile domain's level as an honest client domain (cd0) sees it.
+      hostile_level.add(static_cast<double>(
+          trust::to_numeric(run.final_table.get(0, 2, 0))));
+    }
+    return std::pair{tail_exposure.mean(), hostile_level.mean()};
+  };
+
+  TextTable table({"maintainer", "collusion",
+                   "honest-CD residual exposure",
+                   "hostile rd level (cd0 view)"});
+  table.set_title(
+      "Collusion attack in the scheduling loop (truth: hostile rd ~ 1.6)");
+  using M = sim::ClosedLoopConfig::TableMaintainer;
+  for (const auto& [maintainer, name] :
+       {std::pair{M::kGammaBridge, "Γ bridge (paper)"},
+        std::pair{M::kBetaPooled, "pooled Beta"}}) {
+    for (const bool collusion : {false, true}) {
+      const auto [exposure, level] = run_arm(maintainer, collusion);
+      table.add_row({name, collusion ? "yes" : "no",
+                     format_grouped(exposure, 3), format_grouped(level, 1)});
+    }
+  }
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  std::cout << "\nreading: without collusion both maintainers learn the "
+               "hostile domain.  Under attack, honest client domains stay "
+               "protected under the paper's per-evaluator Γ (their own "
+               "direct experience dominates and R discounts the ally's "
+               "praise), while the pooled Beta table is whitewashed for "
+               "everyone — the design reason §2.2 introduces R.\n";
+  return 0;
+}

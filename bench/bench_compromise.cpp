@@ -1,0 +1,86 @@
+// Extension bench: detection and recovery after a mid-run compromise.
+//
+// A well-behaved resource domain is compromised partway through the run
+// (conduct 5.6 -> 1.4).  The EWMA learning rate of the trust engine governs
+// how fast the table reacts: the uncovered exposure spikes at the
+// compromise round and decays as the agents re-learn.  The run also shows
+// the reverse: remediation restores the level, at the speed the trust model
+// allows ("trust is built on past experiences").
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/closed_loop.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+
+  CliParser cli("bench_compromise",
+                "Compromise detection speed vs trust learning rate");
+  cli.add_int("rounds", 18, "scheduling rounds");
+  cli.add_int("tasks", 60, "tasks per round");
+  cli.add_int("compromise-round", 6, "round at which rd0 is compromised");
+  cli.add_int("remediation-round", 12, "round at which rd0 is remediated");
+  cli.add_int("seed", 7, "random seed");
+  cli.add_flag("csv", "emit CSV instead of the ASCII table");
+  cli.parse(argc, argv);
+
+  Rng topo_rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  grid::RandomGridParams params;
+  params.machines = 6;
+  params.min_resource_domains = 3;
+  params.max_resource_domains = 3;
+  params.min_client_domains = 2;
+  params.max_client_domains = 2;
+  const grid::GridSystem grid = grid::make_random_grid(params, topo_rng);
+  const std::vector<sim::DomainBehavior> rd_conduct = {
+      {5.6, 0.3}, {4.5, 0.3}, {4.5, 0.3}};
+  const std::vector<sim::DomainBehavior> cd_conduct = {{5.0, 0.3},
+                                                       {5.0, 0.3}};
+
+  TextTable table({"round", "lr=0.1 exposure", "lr=0.3 exposure",
+                   "lr=0.6 exposure", "lr=0.3 level of rd0"});
+  table.set_title(
+      "Compromise at round " +
+      std::to_string(cli.get_int("compromise-round")) + ", remediation at " +
+      std::to_string(cli.get_int("remediation-round")) +
+      " (uncovered exposure by EWMA learning rate)");
+
+  const std::vector<double> rates = {0.1, 0.3, 0.6};
+  std::vector<sim::ClosedLoopResult> runs;
+  for (const double lr : rates) {
+    sim::ClosedLoopConfig config;
+    config.rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+    config.tasks_per_round = static_cast<std::size_t>(cli.get_int("tasks"));
+    config.initial_level = trust::TrustLevel::kE;
+    config.engine.learning_rate = lr;
+    config.conduct_changes.push_back(
+        {static_cast<std::size_t>(cli.get_int("compromise-round")), 0, 1.4});
+    config.conduct_changes.push_back(
+        {static_cast<std::size_t>(cli.get_int("remediation-round")), 0, 5.6});
+    runs.push_back(sim::run_closed_loop(
+        grid, rd_conduct, cd_conduct, config,
+        Rng(static_cast<std::uint64_t>(cli.get_int("seed")))));
+  }
+
+  // The lr=0.3 run's learned level for rd0 is recomputed per round from
+  // residual exposure reporting; we read the final table only, so show the
+  // exposure trajectory per rate and the final learned level.
+  for (std::size_t round = 0; round < runs[0].rounds.size(); ++round) {
+    table.add_row(
+        {std::to_string(round + 1),
+         format_grouped(runs[0].rounds[round].mean_residual_exposure, 2),
+         format_grouped(runs[1].rounds[round].mean_residual_exposure, 2),
+         format_grouped(runs[2].rounds[round].mean_residual_exposure, 2),
+         round + 1 == runs[1].rounds.size()
+             ? trust::to_string(runs[1].final_table.get(0, 0, 0))
+             : ""});
+  }
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  std::cout << "\nreading: higher learning rates cut the exposure spike "
+               "after the compromise (faster detection) but also re-trust "
+               "faster after remediation; the paper's 'firm belief ... "
+               "subject to the entity's behavior' is a tunable speed, and "
+               "this is its dial.\n";
+  return 0;
+}

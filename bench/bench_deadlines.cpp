@@ -1,0 +1,75 @@
+// Extension bench: QoS deadlines under trust-aware vs trust-unaware
+// scheduling.  The paper frames security and QoS as the two concerns an RMS
+// must integrate; this bench shows the security-overhead reduction turning
+// directly into met deadlines: the same requests, the same deadlines, only
+// the policy differs.
+#include <iostream>
+
+#include "support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+  CliParser cli("bench_deadlines",
+                "Deadline miss rates, trust-aware vs unaware");
+  bench::add_common_flags(cli);
+  cli.add_int("tasks", 100, "tasks per replication");
+  cli.parse(argc, argv);
+  const auto replications =
+      static_cast<std::size_t>(cli.get_int("replications"));
+  const Rng master(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  TextTable table({"slack range", "unaware miss rate", "aware miss rate",
+                   "misses avoided"});
+  table.set_title("Deadline misses (MCT, inconsistent LoLo, " +
+                  std::to_string(cli.get_int("tasks")) +
+                  " tasks; deadline = arrival + slack x best EEC)");
+  struct Band {
+    double lo;
+    double hi;
+  };
+  for (const Band band : {Band{4, 8}, Band{8, 16}, Band{16, 32},
+                          Band{32, 64}}) {
+    RunningStats unaware_miss;
+    RunningStats aware_miss;
+    for (std::size_t i = 0; i < replications; ++i) {
+      sim::Scenario scenario = bench::scenario_from_flags(cli);
+      scenario.tasks = static_cast<std::size_t>(cli.get_int("tasks"));
+      Rng rng = master.stream(i);
+      const sim::Instance instance =
+          sim::draw_instance(scenario, sched::trust_unaware_policy(), rng);
+      // Deadlines come from the same per-replication stream, after the
+      // instance draws, so both policies see identical deadlines.
+      sched::CostMatrix eec(instance.problem.num_requests(),
+                            instance.problem.num_machines());
+      for (std::size_t r = 0; r < eec.rows(); ++r) {
+        for (std::size_t m = 0; m < eec.cols(); ++m) {
+          eec.at(r, m) = instance.problem.eec(r, m);
+        }
+      }
+      const std::vector<double> deadlines = workload::draw_deadlines(
+          instance.requests, eec, band.lo, band.hi, rng);
+      const sim::SimulationResult unaware =
+          sim::run_trms(instance.problem, scenario.rms);
+      const sim::SimulationResult aware = sim::run_trms(
+          instance.problem.with_policy(sched::trust_aware_policy()),
+          scenario.rms);
+      unaware_miss.add(
+          workload::deadline_miss_fraction(unaware.schedule, deadlines));
+      aware_miss.add(
+          workload::deadline_miss_fraction(aware.schedule, deadlines));
+    }
+    table.add_row(
+        {"[" + format_grouped(band.lo, 0) + ", " + format_grouped(band.hi, 0) +
+             "]",
+         format_percent(unaware_miss.mean() * 100.0),
+         format_percent(aware_miss.mean() * 100.0),
+         format_percent((unaware_miss.mean() - aware_miss.mean()) * 100.0)});
+  }
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  std::cout << "\nreading: the makespan improvement compounds into the QoS "
+               "dimension — under saturation, queueing dominates completion "
+               "times, so every request finishing earlier under the "
+               "trust-aware policy converts into met deadlines at every "
+               "slack level.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure-style series: the trust-aware advantage as a function of trust
+// diversity (number of resource domains over a fixed 5-machine pool).
+// With one RD there is no trust-based placement freedom at all; with one RD
+// per machine there is the most.  Complements Tables 4-9, which draw
+// #RD ~ U[1,4].
+#include <iostream>
+
+#include "support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+  CliParser cli("bench_diversity",
+                "Improvement vs number of resource domains (5 machines)");
+  bench::add_common_flags(cli);
+  cli.add_int("tasks", 50, "tasks per replication");
+  cli.parse(argc, argv);
+  const auto replications =
+      static_cast<std::size_t>(cli.get_int("replications"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  TextTable table({"resource domains", "unaware makespan", "aware makespan",
+                   "improvement", "95% CI"});
+  table.set_title("Trust diversity series (MCT, inconsistent LoLo, " +
+                  std::to_string(cli.get_int("tasks")) + " tasks)");
+  for (std::size_t rds = 1; rds <= 5; ++rds) {
+    sim::Scenario scenario = bench::scenario_from_flags(cli);
+    scenario.tasks = static_cast<std::size_t>(cli.get_int("tasks"));
+    scenario.grid.min_resource_domains = rds;
+    scenario.grid.max_resource_domains = rds;
+    const auto r = sim::run_comparison(scenario, replications, seed);
+    const double rel_ci =
+        r.makespan_cmp.ci95_diff / r.makespan_cmp.mean_base * 100.0;
+    table.add_row({std::to_string(rds),
+                   format_grouped(r.unaware.makespan.mean(), 1),
+                   format_grouped(r.aware.makespan.mean(), 1),
+                   format_percent(r.improvement_pct),
+                   "+/- " + format_percent(rel_ci)});
+  }
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  std::cout << "\nreading: the series is remarkably flat — under LoLo "
+               "heterogeneity the aware advantage is dominated by the "
+               "pricing gap (TC-priced vs blanket) and by consistent "
+               "decision units, not by trust-based placement freedom "
+               "(cf. bench_ablation_security_policy, where the placement "
+               "term adds only ~3 points).  Trust diversity is about *risk* "
+               "placement (see bench_closed_loop), not about makespan.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension bench: staging strategies on a shared link — the paper's
+// "eliminating redundant application of secure operations" quantified.
+//
+// Moves the same payload (files x size) three ways per protocol:
+//   parallel    N concurrent sessions (N handshakes, shared cipher/CPU)
+//   sequential  N back-to-back sessions (N handshakes, no sharing)
+//   batched     one session for everything (1 handshake)
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "net/link_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+
+  CliParser cli("bench_link_sharing",
+                "Concurrent/batched secure staging on a shared link");
+  cli.add_string("network", "1000", "link speed: 100 or 1000 (Mbps)");
+  cli.add_flag("csv", "emit CSV instead of the ASCII table");
+  cli.parse(argc, argv);
+
+  const bool gigabit = cli.get_string("network") == "1000";
+  const net::LinkProfile link =
+      gigabit ? net::gigabit_ethernet_link() : net::fast_ethernet_link();
+  const net::SharedLinkSimulator sim(net::piii_866_host(link), link);
+
+  TextTable table({"files x size", "protocol", "parallel (s)",
+                   "sequential (s)", "batched (s)",
+                   "batching saves"});
+  table.set_title("Staging strategies on a " + cli.get_string("network") +
+                  " Mbps link (same payload per row)");
+  struct Case {
+    std::size_t files;
+    double mb;
+  };
+  for (const Case c : {Case{64, 1.0}, Case{16, 10.0}, Case{8, 100.0},
+                       Case{4, 250.0}}) {
+    for (const net::Protocol protocol :
+         {net::Protocol::kRcp, net::Protocol::kScp}) {
+      const auto par = sim.stage_parallel(c.files, Megabytes(c.mb), protocol);
+      const auto seq =
+          sim.stage_sequential(c.files, Megabytes(c.mb), protocol);
+      const auto bat = sim.stage_batched(c.files, Megabytes(c.mb), protocol);
+      const double worst = std::max(par.makespan, seq.makespan);
+      table.add_row({std::to_string(c.files) + " x " +
+                         format_grouped(c.mb, 0) + " MB",
+                     net::to_string(protocol),
+                     format_grouped(par.makespan, 2),
+                     format_grouped(seq.makespan, 2),
+                     format_grouped(bat.makespan, 2),
+                     format_percent((worst - bat.makespan) / worst * 100.0)});
+    }
+    table.add_separator();
+  }
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  std::cout
+      << "\nreading: parallel scp cannot beat one batched session — the "
+         "cipher is a single shared CPU resource — while repeated per-file "
+         "handshakes dominate small-file staging.  Batching secure "
+         "operations removes both redundancies, exactly the remedy the "
+         "paper's conclusion calls for.\n";
+  return 0;
+}

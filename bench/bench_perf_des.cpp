@@ -1,0 +1,84 @@
+// Microbenchmarks (google-benchmark): discrete-event kernel throughput —
+// schedule/execute cycles, cancellation cost, and Poisson arrival driving.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "des/arrival.hpp"
+#include "des/simulator.hpp"
+
+namespace {
+
+using namespace gridtrust;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    Rng rng(1);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(rng.uniform(0.0, 1000.0), [&sum] { ++sum; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+
+void BM_SelfRescheduling(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::function<void()> tick = [&] {
+      if (sim.executed_events() < events) sim.schedule_in(1.0, tick);
+    };
+    sim.schedule_at(0.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+
+void BM_CancelHalf(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::vector<des::EventId> ids;
+    ids.reserve(events);
+    for (std::size_t i = 0; i < events; ++i) {
+      ids.push_back(
+          sim.schedule_at(static_cast<double>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < events; i += 2) sim.cancel(ids[i]);
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+
+void BM_PoissonDrive(benchmark::State& state) {
+  const auto arrivals = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    des::PoissonArrivals process(1.0, Rng(7));
+    std::uint64_t sum = 0;
+    des::drive_arrivals(sim, process, arrivals,
+                        [&sum](std::size_t, des::SimTime) { ++sum; });
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(arrivals));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SelfRescheduling)->Arg(100000);
+BENCHMARK(BM_CancelHalf)->Arg(100000);
+BENCHMARK(BM_PoissonDrive)->Arg(100000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Microbenchmarks (google-benchmark): mapping throughput of the heuristic
+// suite as instance sizes grow.  Not a paper table — engineering data for
+// users embedding the scheduler.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sched/executor.hpp"
+#include "sched/heuristic.hpp"
+
+namespace {
+
+using namespace gridtrust;
+
+sched::SchedulingProblem make_instance(std::size_t tasks, std::size_t machines,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  sched::CostMatrix eec(tasks, machines);
+  sched::TrustCostMatrix tc(tasks, machines);
+  for (std::size_t r = 0; r < tasks; ++r) {
+    for (std::size_t m = 0; m < machines; ++m) {
+      eec.at(r, m) = rng.uniform(1.0, 1000.0);
+      tc.at(r, m) = static_cast<int>(rng.uniform_int(0, 6));
+    }
+  }
+  return sched::SchedulingProblem(std::move(eec), std::move(tc),
+                                  sched::trust_aware_policy(),
+                                  sched::SecurityCostModel{});
+}
+
+void BM_Immediate(benchmark::State& state, const std::string& name) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto problem = make_instance(tasks, 16, 1);
+  auto heuristic = sched::make_immediate(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::run_immediate(problem, *heuristic));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks));
+}
+
+void BM_Batch(benchmark::State& state, const std::string& name) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto problem = make_instance(tasks, 16, 1);
+  auto heuristic = sched::make_batch(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::run_batch_all(problem, *heuristic));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Immediate, mct, std::string("mct"))
+    ->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK_CAPTURE(BM_Immediate, kpb, std::string("kpb"))->Arg(1000);
+BENCHMARK_CAPTURE(BM_Immediate, switching, std::string("switching"))
+    ->Arg(1000);
+BENCHMARK_CAPTURE(BM_Batch, min_min, std::string("min-min"))
+    ->Arg(100)->Arg(500)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Batch, sufferage, std::string("sufferage"))
+    ->Arg(100)->Arg(500)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Batch, duplex, std::string("duplex"))->Arg(500);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark): trust-engine operation costs —
+// transaction folding, Γ evaluation, reputation aggregation, and the
+// trust-cost matrix construction the scheduler performs per meta-request.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sched/problem.hpp"
+#include "trust/trust_engine.hpp"
+#include "workload/request_gen.hpp"
+
+namespace {
+
+using namespace gridtrust;
+
+trust::TrustEngine seeded_engine(std::size_t entities, std::size_t contexts,
+                                 std::size_t transactions) {
+  trust::TrustEngine engine({}, entities, contexts);
+  Rng rng(7);
+  for (std::size_t i = 0; i < transactions; ++i) {
+    const auto a = static_cast<trust::EntityId>(rng.index(entities));
+    auto b = static_cast<trust::EntityId>(rng.index(entities));
+    if (a == b) b = static_cast<trust::EntityId>((b + 1) % entities);
+    engine.record_transaction({a, b,
+                               static_cast<trust::ContextId>(
+                                   rng.index(contexts)),
+                               static_cast<double>(i),
+                               rng.uniform(1.0, 6.0)});
+  }
+  return engine;
+}
+
+void BM_RecordTransaction(benchmark::State& state) {
+  const auto entities = static_cast<std::size_t>(state.range(0));
+  trust::TrustEngine engine({}, entities, 4);
+  Rng rng(3);
+  double t = 0.0;
+  for (auto _ : state) {
+    const auto a = static_cast<trust::EntityId>(rng.index(entities));
+    auto b = static_cast<trust::EntityId>(rng.index(entities));
+    if (a == b) b = static_cast<trust::EntityId>((b + 1) % entities);
+    t += 1.0;
+    engine.record_transaction({a, b, 0, t, 3.0});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_EventualTrust(benchmark::State& state) {
+  const auto entities = static_cast<std::size_t>(state.range(0));
+  const auto engine = seeded_engine(entities, 4, entities * 50);
+  Rng rng(9);
+  const double now = static_cast<double>(entities * 50);
+  for (auto _ : state) {
+    const auto a = static_cast<trust::EntityId>(rng.index(entities));
+    auto b = static_cast<trust::EntityId>(rng.index(entities));
+    if (a == b) b = static_cast<trust::EntityId>((b + 1) % entities);
+    benchmark::DoNotOptimize(engine.eventual_trust(a, b, 0, now));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TrustCostMatrix(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  grid::RandomGridParams params;
+  params.machines = 16;
+  params.max_resource_domains = 8;
+  const grid::GridSystem grid = grid::make_random_grid(params, rng);
+  const trust::TrustLevelTable table = workload::random_trust_table(grid, rng);
+  const auto requests = workload::generate_requests(grid, tasks, {}, rng);
+  const sched::SecurityCostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::compute_trust_costs(grid, requests, table, model));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RecordTransaction)->Arg(16)->Arg(128);
+BENCHMARK(BM_EventualTrust)->Arg(16)->Arg(128);
+BENCHMARK(BM_TrustCostMatrix)->Arg(100)->Arg(1000);
+
+BENCHMARK_MAIN();

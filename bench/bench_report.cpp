@@ -1,0 +1,86 @@
+// One-shot Markdown report: regenerates every paper table and emits a
+// single document (stdout) suitable for pasting into an issue or a wiki.
+#include <iostream>
+
+#include "net/report.hpp"
+#include "sfi/harness.hpp"
+#include "support.hpp"
+#include "trust/ets.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace {
+
+using namespace gridtrust;
+
+struct TableSpec {
+  const char* number;
+  const char* heuristic;
+  bool batch;
+  bool consistent;
+  const char* paper;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_report",
+                "Regenerates all paper tables as one Markdown report");
+  bench::add_common_flags(cli);
+  cli.parse(argc, argv);
+  const auto replications =
+      static_cast<std::size_t>(cli.get_int("replications"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "# gridtrust reproduction report\n\n"
+            << "Replications: " << replications << ", seed: " << seed
+            << ".  Absolute seconds are model time; compare shapes (see "
+               "EXPERIMENTS.md).\n\n";
+
+  std::cout << trust::ets_symbol_table().to_markdown() << "\n";
+
+  for (const auto& [name, link] :
+       {std::pair{"Table 2. Secure versus regular transmission, 100 Mbps",
+                  net::fast_ethernet_link()},
+        std::pair{"Table 3. Secure versus regular transmission, 1000 Mbps",
+                  net::gigabit_ethernet_link()}}) {
+    const net::TransferModel model(net::piii_866_host(link), link);
+    TextTable table = net::transfer_table(model, name,
+                                          net::paper_file_sizes_mb());
+    std::cout << table.to_markdown() << "\n";
+  }
+
+  {
+    auto rows = sfi::measure_overheads(2, 5, 3);
+    std::cout << sfi::sfi_table(rows).to_markdown() << "\n";
+  }
+
+  const TableSpec specs[] = {
+      {"4", "mct", false, false, "36.99% / 37.59%"},
+      {"5", "mct", false, true, "34.44% / 34.26%"},
+      {"6", "min-min", true, false, "23.51% / 23.34%"},
+      {"7", "min-min", true, true, "25.28% / 25.32%"},
+      {"8", "sufferage", true, false, "39.66% / 38.40%"},
+      {"9", "sufferage", true, true, "32.67% / 33.19%"},
+  };
+  for (const TableSpec& spec : specs) {
+    std::vector<sim::ComparisonResult> rows;
+    for (const std::int64_t tasks :
+         {cli.get_int("tasks-a"), cli.get_int("tasks-b")}) {
+      sim::Scenario scenario = bench::scenario_from_flags(cli);
+      scenario.tasks = static_cast<std::size_t>(tasks);
+      scenario.heterogeneity = spec.consistent
+                                   ? workload::consistent_lolo()
+                                   : workload::inconsistent_lolo();
+      scenario.rms.heuristic = spec.heuristic;
+      scenario.rms.mode = spec.batch ? sim::SchedulingMode::kBatch
+                                     : sim::SchedulingMode::kImmediate;
+      rows.push_back(sim::run_comparison(scenario, replications, seed));
+    }
+    const std::string title =
+        std::string("Table ") + spec.number + ". " + spec.heuristic + ", " +
+        (spec.consistent ? "consistent" : "inconsistent") +
+        " LoLo (paper improvements: " + spec.paper + ")";
+    std::cout << sim::paper_table(title, rows).to_markdown() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "support.hpp"
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace gridtrust::bench {
+
+void add_common_flags(CliParser& cli) {
+  cli.add_int("replications", 50, "independent simulation replications");
+  cli.add_int("seed", 20020815, "master random seed");
+  cli.add_int("machines", 5, "machines in the Grid (paper: 5)");
+  cli.add_int("tasks-a", 50, "first task count (paper: 50)");
+  cli.add_int("tasks-b", 100, "second task count (paper: 100)");
+  cli.add_double("arrival-rate", 1.0, "Poisson arrival rate (requests/s)");
+  cli.add_double("batch-interval", 30.0, "meta-request interval (s)");
+  cli.add_double("tc-weight", 15.0, "ESC percent per trust-cost unit");
+  cli.add_double("blanket", 50.0, "trust-unaware blanket ESC percent");
+  cli.add_flag("forced-f", "use the strict Table 1 reading (RTL=F -> TC=6)");
+  cli.add_flag("iid-table", "independent per-activity trust table entries");
+  cli.add_flag("csv", "emit CSV rows instead of the ASCII table");
+}
+
+sim::Scenario scenario_from_flags(const CliParser& cli) {
+  sim::Scenario scenario;
+  scenario.grid.machines = static_cast<std::size_t>(cli.get_int("machines"));
+  scenario.requests.arrival_rate = cli.get_double("arrival-rate");
+  scenario.rms.batch_interval = cli.get_double("batch-interval");
+  scenario.security.tc_weight_pct = cli.get_double("tc-weight");
+  scenario.security.blanket_pct = cli.get_double("blanket");
+  scenario.security.table1_forced_f = cli.get_flag("forced-f");
+  scenario.table_correlation =
+      cli.get_flag("iid-table")
+          ? workload::TableCorrelation::kIndependentPerActivity
+          : workload::TableCorrelation::kPairLevel;
+  return scenario;
+}
+
+int run_paper_table(const CliParser& cli, const std::string& table_number,
+                    const std::string& heuristic, bool batch, bool consistent,
+                    const std::string& paper_reference) {
+  const auto replications =
+      static_cast<std::size_t>(cli.get_int("replications"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::vector<sim::ComparisonResult> rows;
+  for (const std::int64_t tasks : {cli.get_int("tasks-a"), cli.get_int("tasks-b")}) {
+    sim::Scenario scenario = scenario_from_flags(cli);
+    scenario.tasks = static_cast<std::size_t>(tasks);
+    scenario.heterogeneity = consistent ? workload::consistent_lolo()
+                                        : workload::inconsistent_lolo();
+    scenario.rms.heuristic = heuristic;
+    scenario.rms.mode =
+        batch ? sim::SchedulingMode::kBatch : sim::SchedulingMode::kImmediate;
+    rows.push_back(sim::run_comparison(scenario, replications, seed));
+  }
+
+  const std::string title =
+      "Table " + table_number + ". Comparison of average completion time for " +
+      std::string(consistent ? "consistent" : "inconsistent") +
+      " LoLo heterogeneity using the " + heuristic + " heuristic.";
+  const TextTable table = sim::paper_table(title, rows);
+  if (cli.get_flag("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    std::cout << table << "\n";
+  }
+  for (const sim::ComparisonResult& row : rows) {
+    std::cout << "  " << sim::summarize(row) << "\n";
+  }
+  std::cout << "  paper reference: " << paper_reference << "\n"
+            << "  (absolute seconds depend on the EEC ranges; the paper's "
+               "testbed is unknown -- compare shapes, see EXPERIMENTS.md)\n";
+  return 0;
+}
+
+}  // namespace gridtrust::bench

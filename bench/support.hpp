@@ -1,0 +1,29 @@
+// Shared scaffolding for the table-reproduction bench binaries.
+//
+// Each bench_tableN binary reproduces one paper table with a fast default
+// configuration (tens of milliseconds) and exposes flags for larger
+// replication counts, alternative seeds, and CSV output.
+#pragma once
+
+#include <string>
+
+#include "common/cli.hpp"
+#include "sim/experiment.hpp"
+
+namespace gridtrust::bench {
+
+/// Registers the flags shared by every scheduling-table bench.
+void add_common_flags(CliParser& cli);
+
+/// Builds the base scenario for Tables 4-9 from parsed flags.
+sim::Scenario scenario_from_flags(const CliParser& cli);
+
+/// Runs one paper table (two task counts, trust no/yes) and prints it,
+/// followed by paired-CI summaries and the paper's reference values.
+/// `heuristic` is a registered heuristic name; `batch` selects the RMS mode.
+/// Returns 0 (success) so mains can `return run_paper_table(...)`.
+int run_paper_table(const CliParser& cli, const std::string& table_number,
+                    const std::string& heuristic, bool batch, bool consistent,
+                    const std::string& paper_reference);
+
+}  // namespace gridtrust::bench

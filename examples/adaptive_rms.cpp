@@ -1,0 +1,79 @@
+// Adaptive RMS: the closed trust/scheduling loop as an application.
+//
+// A Grid operator stands up a TRMS with *no* prior trust data (everything
+// starts fully trusted).  One resource domain turns out to be hostile.  The
+// example shows, round by round, how the scheduler's protection catches up
+// with reality — and what a frozen deployment would keep silently risking.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/closed_loop.hpp"
+#include "trust/serialization.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+
+  CliParser cli("adaptive_rms", "Closed-loop trust-aware RMS walkthrough");
+  cli.add_int("rounds", 8, "scheduling rounds");
+  cli.add_int("seed", 99, "random seed");
+  cli.add_flag("dump-table", "print the learned table in its save format");
+  cli.parse(argc, argv);
+
+  Rng topo_rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  grid::RandomGridParams params;
+  params.machines = 6;
+  params.min_resource_domains = 3;
+  params.max_resource_domains = 3;
+  params.min_client_domains = 2;
+  params.max_client_domains = 2;
+  const grid::GridSystem grid = grid::make_random_grid(params, topo_rng);
+
+  const std::vector<sim::DomainBehavior> rd_conduct = {
+      {5.7, 0.3},  // rd0: well-run HPC centre
+      {4.2, 0.5},  // rd1: decent but patchy
+      {1.5, 0.4},  // rd2: compromised
+  };
+  const std::vector<sim::DomainBehavior> cd_conduct = {{5.2, 0.3},
+                                                       {5.2, 0.3}};
+
+  sim::ClosedLoopConfig config;
+  config.rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  config.tasks_per_round = 50;
+  config.initial_level = trust::TrustLevel::kE;  // optimistic bootstrap
+  config.rms.mode = sim::SchedulingMode::kBatch;
+  config.rms.heuristic = "min-min";
+
+  const sim::ClosedLoopResult run = sim::run_closed_loop(
+      grid, rd_conduct, cd_conduct, config,
+      Rng(static_cast<std::uint64_t>(cli.get_int("seed"))));
+
+  TextTable table({"round", "makespan (s)", "mean chosen TC",
+                   "uncovered exposure", "table updates"});
+  table.set_title("adaptive_rms: learning who to trust while scheduling");
+  for (const sim::RoundMetrics& round : run.rounds) {
+    table.add_row({std::to_string(round.round + 1),
+                   format_grouped(round.makespan, 1),
+                   format_grouped(round.mean_chosen_tc, 2),
+                   format_grouped(round.mean_residual_exposure, 2),
+                   std::to_string(round.table_updates)});
+  }
+  std::cout << table << "\n";
+  std::cout << "what the system learned (client domain 0, activity "
+               "'execute'): ";
+  for (std::size_t rd = 0; rd < 3; ++rd) {
+    std::cout << "rd" << rd << "="
+              << trust::to_string(run.final_table.get(0, rd, 0)) << " ";
+  }
+  std::cout << " (truth ~ " << rd_conduct[0].mean << " / "
+            << rd_conduct[1].mean << " / " << rd_conduct[2].mean << ")\n"
+            << run.transactions
+            << " transactions observed by the Fig. 1 agents.\n";
+
+  if (cli.get_flag("dump-table")) {
+    std::cout << "\n-- persisted trust table "
+                 "(trust::save_table format) --\n"
+              << trust::table_to_string(run.final_table);
+  }
+  return 0;
+}

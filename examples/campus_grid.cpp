@@ -1,0 +1,111 @@
+// Campus Grid: an explicitly built three-institution Grid scheduled in
+// batch mode with the trust-aware Sufferage heuristic.
+//
+// Demonstrates the explicit-construction API (GridSystemBuilder, hand-set
+// trust-level table, per-domain activity restrictions) instead of the
+// randomized §5.3 generators, and prints the resulting schedule per machine.
+#include <iostream>
+#include <map>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sched/gantt.hpp"
+#include "sched/problem.hpp"
+#include "sim/trm_simulation.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/request_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+
+  CliParser cli("campus_grid",
+                "Three-institution campus Grid with trust-aware Sufferage");
+  cli.add_int("tasks", 24, "requests to schedule");
+  cli.add_int("seed", 7, "random seed");
+  cli.parse(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // --- Build the Grid: three institutions with different capabilities. ---
+  grid::GridSystemBuilder builder(grid::ActivityCatalog::standard());
+  const auto uni = builder.add_grid_domain("university");
+  const auto lab = builder.add_grid_domain("national-lab");
+  const auto startup = builder.add_grid_domain("startup-colo");
+  builder.add_machine(uni, "uni-hpc-0");
+  builder.add_machine(uni, "uni-hpc-1");
+  builder.add_machine(lab, "lab-cluster-0");
+  builder.add_machine(lab, "lab-cluster-1");
+  builder.add_machine(startup, "colo-node-0");
+  // The startup machines do not offer print/display services.
+  const auto& catalog = grid::ActivityCatalog::standard();
+  builder.set_supported_activities(
+      startup, {catalog.id_of("execute"), catalog.id_of("store"),
+                catalog.id_of("retrieve"), catalog.id_of("transfer"),
+                catalog.id_of("query")});
+  const grid::GridSystem grid_sys = builder.build();
+
+  // --- Trust relationships: the lab is widely trusted, the colo is not. ---
+  trust::TrustLevelTable table(3, 3, catalog.size());
+  for (std::size_t cd = 0; cd < 3; ++cd) {
+    for (std::size_t act = 0; act < catalog.size(); ++act) {
+      table.set(cd, 0, act, trust::TrustLevel::kD);  // university resources
+      table.set(cd, 1, act, trust::TrustLevel::kE);  // national lab
+      table.set(cd, 2, act, trust::TrustLevel::kB);  // startup colo
+    }
+  }
+  // The university trusts itself fully.
+  for (std::size_t act = 0; act < catalog.size(); ++act) {
+    table.set(0, 0, act, trust::TrustLevel::kE);
+  }
+
+  // --- Workload: mixed-sensitivity requests arriving over ~30 s. ---
+  workload::RequestGenParams req_params;
+  req_params.arrival_rate = 1.0;
+  req_params.min_rtl = 2;  // nobody requires less than B
+  const auto requests = workload::generate_requests(
+      grid_sys, static_cast<std::size_t>(cli.get_int("tasks")), req_params,
+      rng);
+  const auto eec = workload::generate_eec(requests.size(),
+                                          grid_sys.machines().size(),
+                                          workload::inconsistent_lolo(), rng);
+
+  const sched::SecurityCostModel model;
+  const auto tc = sched::compute_trust_costs(grid_sys, requests, table, model);
+  std::vector<double> arrivals;
+  for (const auto& r : requests) arrivals.push_back(r.arrival_time);
+
+  // --- Schedule with trust-aware Sufferage in batch mode. ---
+  sim::TrmsConfig rms;
+  rms.mode = sim::SchedulingMode::kBatch;
+  rms.heuristic = "sufferage";
+  rms.batch_interval = 10.0;
+  const sched::SchedulingProblem problem(eec, tc, sched::trust_aware_policy(),
+                                         model, arrivals);
+  const sim::SimulationResult result = sim::run_trms(problem, rms);
+
+  // --- Report: per-machine assignment summary. ---
+  TextTable out({"machine", "domain", "requests", "busy (s)", "final α (s)"});
+  out.set_title("campus_grid: trust-aware Sufferage schedule");
+  std::map<std::size_t, std::size_t> per_machine;
+  for (const std::size_t m : result.schedule.machine_of) ++per_machine[m];
+  for (const grid::Machine& m : grid_sys.machines()) {
+    out.add_row({m.name,
+                 grid_sys.resource_domain(m.resource_domain).name,
+                 std::to_string(per_machine[m.id]),
+                 format_grouped(result.schedule.machine_busy[m.id], 1),
+                 format_grouped(result.schedule.machine_available[m.id], 1)});
+  }
+  sched::GanttOptions gantt;
+  gantt.width = 64;
+  for (const grid::Machine& m : grid_sys.machines()) {
+    gantt.machine_names.push_back(m.name);
+  }
+  std::cout << out << "\n"
+            << sched::render_gantt(problem, result.schedule, gantt) << "\n"
+            << "makespan " << format_grouped(result.makespan, 1) << " s, "
+            << format_percent(result.utilization_pct) << " utilization, "
+            << result.batches << " meta-requests, mean flow time "
+            << format_grouped(result.mean_flow_time, 1) << " s\n\n"
+            << "Note how high-RTL work avoids the lightly trusted colo node "
+               "unless the queue there is short enough to pay off.\n";
+  return 0;
+}

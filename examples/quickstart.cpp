@@ -1,0 +1,47 @@
+// Quickstart: build a random Grid, generate a workload, and compare a
+// trust-aware MCT scheduler against the trust-unaware baseline.
+//
+//   $ ./quickstart [--tasks=50] [--seed=1]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridtrust;
+
+  CliParser cli("quickstart", "Minimal gridtrust end-to-end run");
+  cli.add_int("tasks", 50, "requests to schedule");
+  cli.add_int("seed", 1, "random seed");
+  cli.parse(argc, argv);
+
+  // 1. Describe the experiment: a 5-machine Grid with 1-4 client/resource
+  //    domains, inconsistent LoLo heterogeneity, Poisson arrivals, and the
+  //    paper's ESC pricing (TC x 15 % when aware, 50 % blanket otherwise).
+  sim::Scenario scenario;
+  scenario.tasks = static_cast<std::size_t>(cli.get_int("tasks"));
+
+  // 2. Run paired replications: each replication draws one instance and
+  //    schedules it twice (trust-unaware, then trust-aware).
+  const sim::ComparisonResult result = sim::run_comparison(
+      scenario, /*replications=*/30,
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // 3. Report.
+  std::cout << "gridtrust quickstart (" << scenario.tasks << " tasks, "
+            << result.replications << " replications)\n\n"
+            << "  trust-unaware makespan: "
+            << format_grouped(result.unaware.makespan.mean(), 2) << " s  ("
+            << format_percent(result.unaware.utilization_pct.mean())
+            << " utilization)\n"
+            << "  trust-aware   makespan: "
+            << format_grouped(result.aware.makespan.mean(), 2) << " s  ("
+            << format_percent(result.aware.utilization_pct.mean())
+            << " utilization)\n"
+            << "  improvement:            "
+            << format_percent(result.improvement_pct) << " (95% CI +/- "
+            << format_grouped(result.makespan_cmp.ci95_diff, 2) << " s on the "
+            << "paired difference)\n\n"
+            << summarize(result) << "\n";
+  return 0;
+}

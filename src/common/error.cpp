@@ -1,0 +1,21 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace gridtrust::detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << message << " [" << expr << "] at " << file
+     << ":" << line;
+  throw PreconditionError(os.str());
+}
+
+void throw_invariant(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "invariant violated: [" << expr << "] at " << file << ":" << line;
+  throw InvariantError(os.str());
+}
+
+}  // namespace gridtrust::detail

@@ -1,0 +1,55 @@
+// Precondition checking for the gridtrust library.
+//
+// Library code validates its inputs with GT_REQUIRE and internal invariants
+// with GT_ASSERT.  Both throw (rather than abort) so simulation drivers and
+// tests can observe the failures; GT_ASSERT compiles away in release builds
+// only if GRIDTRUST_DISABLE_ASSERTS is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gridtrust {
+
+/// Error thrown when a public API precondition is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Error thrown when an internal invariant is violated (a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& message);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace gridtrust
+
+/// Validate a public API precondition; throws gridtrust::PreconditionError.
+#define GT_REQUIRE(expr, message)                                              \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::gridtrust::detail::throw_precondition(#expr, __FILE__, __LINE__,       \
+                                              (message));                      \
+    }                                                                          \
+  } while (false)
+
+/// Validate an internal invariant; throws gridtrust::InvariantError.
+#if defined(GRIDTRUST_DISABLE_ASSERTS)
+#define GT_ASSERT(expr) \
+  do {                  \
+  } while (false)
+#else
+#define GT_ASSERT(expr)                                                      \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::gridtrust::detail::throw_invariant(#expr, __FILE__, __LINE__);       \
+    }                                                                        \
+  } while (false)
+#endif

@@ -1,0 +1,118 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace gridtrust {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream_id) : seed_(seed) {
+  // PCG initialization: the increment encodes the stream and must be odd.
+  std::uint64_t mix = seed;
+  inc_ = (splitmix64(mix) ^ stream_id) | 1ULL;
+  state_ = 0;
+  (void)(*this)();
+  state_ += splitmix64(mix);
+  (void)(*this)();
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  const auto rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+Rng Rng::stream(std::uint64_t id) const {
+  // Children mix the parent's seed with the child id so that stream(i) of a
+  // given Rng is deterministic and distinct from stream(j), i != j.
+  std::uint64_t mix = seed_ ^ 0x1905ULL;
+  const std::uint64_t child_seed = splitmix64(mix) ^ (id * 0x9e3779b97f4a7c15ULL);
+  return Rng(child_seed, inc_ ^ (id + 1));
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from two draws: uniform on [0, 1).
+  const std::uint64_t hi = static_cast<std::uint64_t>((*this)()) << 21;
+  const std::uint64_t lo = static_cast<std::uint64_t>((*this)()) >> 11;
+  return static_cast<double>(hi ^ lo) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  GT_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  GT_REQUIRE(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    const std::uint64_t v =
+        (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+    return static_cast<std::int64_t>(v);
+  }
+  // Lemire-style rejection sampling on 64-bit draws keeps the bound exact.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t v;
+  do {
+    v = (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  GT_REQUIRE(n > 0, "index(n) requires n > 0");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n - 1)));
+}
+
+double Rng::exponential(double mean) {
+  GT_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  GT_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::bernoulli(double p) {
+  GT_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0, 1]");
+  return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  GT_REQUIRE(k <= n, "cannot sample more indices than available");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: the first k entries are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace gridtrust

@@ -1,0 +1,124 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridtrust {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return t_critical_95(n_ - 1) * stderr_mean();
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95 % critical values of Student's t distribution.
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df < kTable.size()) return kTable[df];
+  if (df < 40) return 2.030;
+  if (df < 60) return 2.009;
+  if (df < 120) return 1.990;
+  return 1.960;
+}
+
+double percent_improvement(double base, double better) {
+  GT_REQUIRE(base != 0.0, "percent_improvement requires a non-zero baseline");
+  return (base - better) / base * 100.0;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  GT_REQUIRE(!xs.empty(), "mean_of requires a non-empty sequence");
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double percentile(std::vector<double> values, double p) {
+  GT_REQUIRE(!values.empty(), "percentile requires a non-empty sample");
+  GT_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+PairedComparison paired_comparison(const std::vector<double>& base,
+                                   const std::vector<double>& treat) {
+  GT_REQUIRE(!base.empty(), "paired_comparison requires samples");
+  GT_REQUIRE(base.size() == treat.size(),
+             "paired_comparison requires equal-length samples");
+  RunningStats sb;
+  RunningStats st;
+  RunningStats sd;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    sb.add(base[i]);
+    st.add(treat[i]);
+    sd.add(base[i] - treat[i]);
+  }
+  PairedComparison out;
+  out.mean_base = sb.mean();
+  out.mean_treat = st.mean();
+  out.mean_diff = sd.mean();
+  out.ci95_diff = sd.ci95_halfwidth();
+  out.improvement_pct = percent_improvement(sb.mean(), st.mean());
+  out.significant =
+      sd.count() >= 2 && std::abs(sd.mean()) > sd.ci95_halfwidth();
+  return out;
+}
+
+}  // namespace gridtrust

@@ -1,0 +1,84 @@
+// Streaming statistics used to aggregate simulation replications.
+//
+// Experiments in this library report the mean over N independent replications
+// together with a 95 % confidence half-width (Student t).  RunningStats
+// accumulates with Welford's algorithm so long sweeps stay numerically stable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gridtrust {
+
+/// Single-pass mean / variance / extrema accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction of replications).
+  void merge(const RunningStats& other);
+
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+
+  /// Unbiased sample standard deviation.
+  double stddev() const;
+
+  /// Standard error of the mean.
+  double stderr_mean() const;
+
+  /// Half-width of the 95 % confidence interval for the mean (Student t).
+  double ci95_halfwidth() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Two-sided Student-t 0.975 quantile for `df` degrees of freedom; exact
+/// table below 30 df, 1.96 asymptote above.
+double t_critical_95(std::size_t df);
+
+/// Percentage improvement of `better` over `base`: (base-better)/base * 100.
+/// Requires base != 0.
+double percent_improvement(double base, double better);
+
+/// Mean of a sequence; requires non-empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Interpolated percentile of a sample (p in [0, 100]); the input vector is
+/// copied, so callers keep their ordering.  Requires a non-empty sample.
+double percentile(std::vector<double> values, double p);
+
+/// Paired-sample summary for comparing two policies on common random numbers.
+struct PairedComparison {
+  double mean_base = 0.0;       ///< mean of the baseline samples
+  double mean_treat = 0.0;      ///< mean of the treatment samples
+  double mean_diff = 0.0;       ///< mean of (base - treat)
+  double ci95_diff = 0.0;       ///< 95 % CI half-width of the difference
+  double improvement_pct = 0.0; ///< percent_improvement of the means
+  /// True when the 95 % CI of the paired difference excludes zero.
+  bool significant = false;
+};
+
+/// Computes a paired comparison; both vectors must be non-empty and of equal
+/// length (sample i of each comes from the same replication seed).
+PairedComparison paired_comparison(const std::vector<double>& base,
+                                   const std::vector<double>& treat);
+
+}  // namespace gridtrust

@@ -1,0 +1,67 @@
+// ASCII table rendering in the visual style of the paper's tables.
+//
+// Bench binaries print their reproduction of each paper table through this
+// formatter so outputs are uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridtrust {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight, kCenter };
+
+/// Formats a double with `precision` decimals and thousands separators,
+/// e.g. 5817.38 -> "5,817.38" (matches the paper's number style).
+std::string format_grouped(double value, int precision);
+
+/// Formats a double as a percentage with two decimals, e.g. "36.99%".
+std::string format_percent(double value);
+
+/// A simple monospace table: header row, optional title, aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets a caption printed above the table.
+  void set_title(std::string title);
+
+  /// Sets per-column alignment; by default every column is right-aligned
+  /// except the first, which is left-aligned.
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator after the most recently added row.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full table.
+  std::string to_string() const;
+
+  /// Renders the table as CSV (title omitted, separators skipped).
+  std::string to_csv() const;
+
+  /// Renders the table as GitHub-flavoured Markdown (title becomes a bold
+  /// caption line, separator rows are skipped).
+  std::string to_markdown() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;  // empty => separator row
+  };
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace gridtrust

@@ -1,0 +1,86 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace gridtrust {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  GT_REQUIRE(task != nullptr, "cannot submit an empty task");
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GT_REQUIRE(!stop_, "cannot submit to a stopped pool");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  GT_REQUIRE(body != nullptr, "parallel_for requires a body");
+  if (n == 0) return;
+  // A shared atomic cursor balances uneven per-index costs.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t n_tasks = std::min(n, threads_.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    futures.push_back(submit([cursor, n, &body] {
+      for (;;) {
+        const std::size_t i = cursor->fetch_add(1);
+        if (i >= n) break;
+        body(i);
+      }
+    }));
+  }
+  // Rethrow the first failure after all workers finish.
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ must be true
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace gridtrust

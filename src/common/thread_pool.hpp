@@ -1,0 +1,55 @@
+// A fixed-size worker pool for embarrassingly parallel replication sweeps.
+//
+// Simulation experiments replicate N independent runs; ThreadPool::parallel_for
+// distributes the replication indices over worker threads.  Each replication
+// gets its own Rng stream, so results are identical regardless of the number
+// of workers (including zero extra workers on a single-core host).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gridtrust {
+
+/// Fixed-size thread pool with a FIFO work queue.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task; returns a future for its completion.  Exceptions
+  /// thrown by the task propagate through the future.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [0, n), distributing indices over the pool and
+  /// blocking until all complete.  The first exception thrown by any body
+  /// is rethrown on the caller thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gridtrust

@@ -1,0 +1,79 @@
+// Strong unit types used across the network and scheduling models.
+//
+// The scp/rcp study mixes megabytes, megabits per second, and seconds;
+// tagging the doubles prevents the classic bits-vs-bytes slip.  Quantities
+// are thin wrappers: value-semantic, constexpr, and free of runtime cost.
+#pragma once
+
+#include <compare>
+
+#include "common/error.hpp"
+
+namespace gridtrust {
+
+/// Generic tagged scalar.  Tags are empty structs; quantities with different
+/// tags do not mix except through the explicit conversion helpers below.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  constexpr double value() const { return value_; }
+
+  constexpr Quantity operator+(Quantity other) const {
+    return Quantity(value_ + other.value_);
+  }
+  constexpr Quantity operator-(Quantity other) const {
+    return Quantity(value_ - other.value_);
+  }
+  constexpr Quantity operator*(double k) const { return Quantity(value_ * k); }
+  constexpr Quantity operator/(double k) const { return Quantity(value_ / k); }
+  constexpr double operator/(Quantity other) const {
+    return value_ / other.value_;
+  }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag> operator*(double k, Quantity<Tag> q) {
+  return q * k;
+}
+
+struct SecondsTag {};
+struct MegabytesTag {};
+struct MegabitsPerSecondTag {};
+struct MegabytesPerSecondTag {};
+
+/// Simulated wall-clock time in seconds.
+using Seconds = Quantity<SecondsTag>;
+/// Data volume in megabytes (10^6 bytes, the convention of the paper).
+using Megabytes = Quantity<MegabytesTag>;
+/// Link speed in megabits per second.
+using MegabitsPerSecond = Quantity<MegabitsPerSecondTag>;
+/// Processing speed in megabytes per second.
+using MegabytesPerSecond = Quantity<MegabytesPerSecondTag>;
+
+/// Converts a link speed to a payload rate (8 bits per byte).
+constexpr MegabytesPerSecond to_megabytes_per_second(MegabitsPerSecond r) {
+  return MegabytesPerSecond(r.value() / 8.0);
+}
+
+/// Time to move `volume` at `rate`; requires a positive rate.
+inline Seconds transfer_time(Megabytes volume, MegabytesPerSecond rate) {
+  GT_REQUIRE(rate.value() > 0.0, "transfer rate must be positive");
+  return Seconds(volume.value() / rate.value());
+}
+
+}  // namespace gridtrust

@@ -1,0 +1,68 @@
+// Arrival processes for request workloads.
+//
+// The paper models request arrivals as a Poisson random process (§5.3).
+// ArrivalProcess abstracts the inter-arrival law so experiments can also use
+// deterministic or bursty arrivals in ablations.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+
+namespace gridtrust::des {
+
+/// Generator of successive inter-arrival gaps (seconds, >= 0).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Next inter-arrival gap.
+  virtual SimTime next_gap() = 0;
+};
+
+/// Poisson process: exponential gaps with rate `lambda` arrivals/second.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double lambda, Rng rng);
+  SimTime next_gap() override;
+
+ private:
+  double mean_gap_;
+  Rng rng_;
+};
+
+/// Deterministic arrivals every `interval` seconds.
+class FixedArrivals final : public ArrivalProcess {
+ public:
+  explicit FixedArrivals(SimTime interval);
+  SimTime next_gap() override;
+
+ private:
+  SimTime interval_;
+};
+
+/// Markov-modulated on/off bursts: exponential gaps whose rate switches
+/// between `lambda_on` and `lambda_off` after geometric run lengths.
+/// Used by ablation studies on batch-interval sensitivity.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double lambda_on, double lambda_off, double mean_run_length,
+                 Rng rng);
+  SimTime next_gap() override;
+
+ private:
+  double lambda_on_;
+  double lambda_off_;
+  double switch_prob_;
+  bool on_ = true;
+  Rng rng_;
+};
+
+/// Schedules `count` arrivals on `sim` starting at now(), invoking
+/// `on_arrival(index, time)` for each.  Gaps come from `process`.
+void drive_arrivals(Simulator& sim, ArrivalProcess& process, std::size_t count,
+                    const std::function<void(std::size_t, SimTime)>& on_arrival);
+
+}  // namespace gridtrust::des

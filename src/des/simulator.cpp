@@ -1,0 +1,98 @@
+#include "des/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace gridtrust::des {
+
+EventId Simulator::schedule_at(SimTime time, std::function<void()> action) {
+  GT_REQUIRE(action != nullptr, "cannot schedule an empty action");
+  GT_REQUIRE(time >= now_, "cannot schedule an event in the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+EventId Simulator::schedule_in(SimTime delay, std::function<void()> action) {
+  GT_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(entry.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    out = entry;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  GT_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  auto it = actions_.find(entry.id);
+  GT_ASSERT(it != actions_.end());
+  // Move the action out before invoking: the action may schedule or cancel
+  // other events, invalidating iterators into actions_.
+  std::function<void()> action = std::move(it->second);
+  actions_.erase(it);
+  ++executed_;
+  action();
+  return true;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (step()) {
+    if (max_events != 0 && --budget == 0) return;
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  GT_REQUIRE(until >= now_, "run_until target is in the past");
+  for (;;) {
+    Entry entry;
+    if (!pop_next(entry)) break;
+    if (entry.time > until) {
+      // Put it back; it runs on a later call.
+      heap_.push(entry);
+      now_ = until;
+      return;
+    }
+    now_ = entry.time;
+    auto it = actions_.find(entry.id);
+    GT_ASSERT(it != actions_.end());
+    std::function<void()> action = std::move(it->second);
+    actions_.erase(it);
+    ++executed_;
+    action();
+  }
+  now_ = until;
+}
+
+void Simulator::reset() {
+  heap_ = {};
+  cancelled_.clear();
+  actions_.clear();
+  now_ = 0.0;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
+}  // namespace gridtrust::des

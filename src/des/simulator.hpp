@@ -1,0 +1,91 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic event-driven simulator: events are (time, action)
+// pairs executed in non-decreasing time order with FIFO tie-breaking, so two
+// runs with the same seed replay identically.  All gridtrust simulations
+// (the TRMS scheduling study and the network-transfer study) run on this
+// kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gridtrust::des {
+
+/// Simulation time in seconds since the start of the run.
+using SimTime = double;
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+/// The event-queue simulator.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Current simulation time.  Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Number of events executed so far.
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Number of events currently pending (cancelled events excluded).
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+  /// Schedules `action` at absolute time `time` (must be >= now()).
+  EventId schedule_at(SimTime time, std::function<void()> action);
+
+  /// Schedules `action` after `delay` seconds (must be >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> action);
+
+  /// Cancels a pending event.  Returns false if the event already ran,
+  /// was cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Executes the next pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains.  `max_events` guards against runaway
+  /// self-rescheduling processes (0 = unlimited).
+  void run(std::uint64_t max_events = 0);
+
+  /// Runs events with time <= `until`.  Afterwards now() == until if the
+  /// simulation had events beyond it (or drained earlier at the last event
+  /// time ≤ until).
+  void run_until(SimTime until);
+
+  /// Discards all pending events and resets the clock to zero.
+  void reset();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next runnable entry, skipping cancelled events.  Returns
+  /// false when the queue is exhausted.
+  bool pop_next(Entry& out);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Actions stored separately so heap entries stay trivially copyable.
+  std::unordered_map<EventId, std::function<void()>> actions_;
+};
+
+}  // namespace gridtrust::des

@@ -1,0 +1,57 @@
+// Tasks, requests, and meta-requests (§4.1).
+//
+// A client submits a request r to execute a task t(r).  Tasks are indivisible
+// and mapped non-preemptively.  Batch-mode heuristics operate on
+// meta-requests: the set of requests collected during one batch interval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/activity.hpp"
+#include "grid/domain.hpp"
+#include "trust/trust_level.hpp"
+
+namespace gridtrust::grid {
+
+using RequestId = std::size_t;
+
+/// A resource request: one task plus its trust requirements.
+struct Request {
+  RequestId id = 0;
+  /// The originating client c(r); meaningful when the Grid tracks clients
+  /// (GridSystem::clients() non-empty), 0 otherwise.
+  ClientId client = 0;
+  /// Client domain of the originating client c(r).  The trust machinery
+  /// works at domain granularity (clients inherit the CD's attributes).
+  ClientDomainId client_domain = 0;
+  /// ToAs the task engages in (1..4 in the paper's workload); the request's
+  /// offered trust level is the minimum table entry over these.
+  std::vector<ActivityId> activities;
+  /// Client-side required trust level (A..F).
+  trust::TrustLevel client_rtl = trust::TrustLevel::kA;
+  /// Resource-side required trust level (A..F).
+  trust::TrustLevel resource_rtl = trust::TrustLevel::kA;
+  /// Arrival time at the RMS (seconds).
+  double arrival_time = 0.0;
+
+  /// Effective RTL: the activity may proceed without supplement only if the
+  /// offer meets the *maximum* of the client and resource requirements.
+  trust::TrustLevel effective_rtl() const {
+    return trust::max_level(client_rtl, resource_rtl);
+  }
+};
+
+/// A batch of requests scheduled together by batch-mode heuristics.
+struct MetaRequest {
+  /// Index of the batch interval that formed this meta-request.
+  std::size_t batch_index = 0;
+  /// Formation time (end of the collection interval).
+  double formed_at = 0.0;
+  std::vector<Request> requests;
+
+  bool empty() const { return requests.empty(); }
+  std::size_t size() const { return requests.size(); }
+};
+
+}  // namespace gridtrust::grid

@@ -1,0 +1,188 @@
+#include "net/link_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gridtrust::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+struct Flow {
+  std::size_t id = 0;
+  Protocol protocol = Protocol::kScp;
+  double arrival = 0.0;
+  double handshake_left = 0.0;  // seconds until streaming starts
+  double remaining_mb = 0.0;
+  bool started = false;    // session initiated
+  bool streaming = false;  // handshake done, payload flowing
+  bool finished = false;
+  SessionOutcome outcome;
+};
+
+}  // namespace
+
+SharedLinkSimulator::SharedLinkSimulator(HostProfile host, LinkProfile link)
+    : host_(host), link_(link) {
+  // Reuse the single-transfer model's validation.
+  (void)TransferModel(host, link);
+}
+
+StagingReport SharedLinkSimulator::simulate(
+    const std::vector<SessionSpec>& specs) const {
+  GT_REQUIRE(!specs.empty(), "need at least one session");
+  std::vector<Flow> flows(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    GT_REQUIRE(specs[i].size.value() > 0.0, "session payload must be positive");
+    GT_REQUIRE(specs[i].start_time >= 0.0, "start time must be non-negative");
+    Flow& f = flows[i];
+    f.id = i;
+    f.protocol = specs[i].protocol;
+    f.arrival = specs[i].start_time;
+    f.handshake_left = (specs[i].protocol == Protocol::kRcp
+                            ? host_.rcp_handshake_s
+                            : host_.scp_handshake_s) +
+                       2.0 * link_.latency_s;
+    f.remaining_mb = specs[i].size.value();
+    f.outcome.session = i;
+    f.outcome.start = f.arrival;
+  }
+
+  const double link_capacity =
+      to_megabytes_per_second(link_.bandwidth).value() *
+      link_.payload_efficiency;
+  // CPU seconds per streamed MB, by protocol.
+  const double cpu_per_mb_scp = host_.nic_cpu_s_per_mb + 1.0 / host_.cipher.value();
+  const double cpu_per_mb_rcp = host_.nic_cpu_s_per_mb;
+
+  double now = 0.0;
+  std::size_t finished = 0;
+  while (finished < flows.size()) {
+    // Classify flows at the current instant.
+    std::vector<Flow*> streaming;
+    double next_event = kInf;
+    for (Flow& f : flows) {
+      if (f.finished) continue;
+      if (!f.started) {
+        next_event = std::min(next_event, f.arrival);
+        continue;
+      }
+      if (!f.streaming) {
+        next_event = std::min(next_event, now + f.handshake_left);
+        continue;
+      }
+      streaming.push_back(&f);
+    }
+
+    // Per-flow rates under equal sharing of link and CPU.
+    std::vector<double> rates(streaming.size(), 0.0);
+    if (!streaming.empty()) {
+      const double n = static_cast<double>(streaming.size());
+      const double link_share = link_capacity / n;
+      const double disk_share = host_.disk.value() / n;
+      // CPU: one sender core splits its seconds evenly over active flows.
+      // A flow at rate r consumes r * cpu_per_mb CPU-seconds per second and
+      // may use at most 1/n of the core.  The disk is shared the same way
+      // (seek degradation under concurrency is not modelled).
+      for (std::size_t i = 0; i < streaming.size(); ++i) {
+        const double cpu_per_mb = streaming[i]->protocol == Protocol::kScp
+                                      ? cpu_per_mb_scp
+                                      : cpu_per_mb_rcp;
+        const double cpu_rate_cap =
+            cpu_per_mb > 0.0 ? (1.0 / n) / cpu_per_mb : kInf;
+        rates[i] = std::min({disk_share, link_share, cpu_rate_cap});
+        GT_ASSERT(rates[i] > 0.0);
+        const double completion = now + streaming[i]->remaining_mb / rates[i];
+        next_event = std::min(next_event, completion);
+      }
+    }
+
+    GT_ASSERT(next_event < kInf);
+    const double dt = std::max(0.0, next_event - now);
+
+    // Advance the fluid state to the event instant.
+    for (std::size_t i = 0; i < streaming.size(); ++i) {
+      streaming[i]->remaining_mb -= rates[i] * dt;
+    }
+    for (Flow& f : flows) {
+      if (f.finished || !f.started || f.streaming) continue;
+      f.handshake_left -= dt;
+    }
+    now = next_event;
+
+    // Fire everything that lands on this instant.
+    for (Flow& f : flows) {
+      if (f.finished) continue;
+      if (!f.started && f.arrival <= now + kEps) {
+        f.started = true;
+      }
+      if (f.started && !f.streaming && f.handshake_left <= kEps) {
+        f.handshake_left = 0.0;
+        f.streaming = true;
+        f.outcome.streaming_from = now;
+      }
+      if (f.streaming && !f.finished && f.remaining_mb <= kEps) {
+        f.remaining_mb = 0.0;
+        f.finished = true;
+        f.outcome.finish = now;
+        ++finished;
+      }
+    }
+  }
+
+  StagingReport report;
+  report.sessions.reserve(flows.size());
+  double first_start = kInf;
+  double last_finish = 0.0;
+  for (Flow& f : flows) {
+    first_start = std::min(first_start, f.outcome.start);
+    last_finish = std::max(last_finish, f.outcome.finish);
+    report.total_payload_mb += specs[f.id].size.value();
+    report.sessions.push_back(f.outcome);
+  }
+  report.makespan = last_finish - first_start;
+  GT_ASSERT(report.makespan > 0.0);
+  report.aggregate_rate_mb_s = report.total_payload_mb / report.makespan;
+  return report;
+}
+
+StagingReport SharedLinkSimulator::stage_parallel(std::size_t files,
+                                                  Megabytes file_mb,
+                                                  Protocol protocol) const {
+  GT_REQUIRE(files >= 1, "need at least one file");
+  std::vector<SessionSpec> specs(files, SessionSpec{0.0, file_mb, protocol});
+  return simulate(specs);
+}
+
+StagingReport SharedLinkSimulator::stage_sequential(std::size_t files,
+                                                    Megabytes file_mb,
+                                                    Protocol protocol) const {
+  GT_REQUIRE(files >= 1, "need at least one file");
+  // Chain starts: run one session to learn its duration, then offset.
+  // All sessions are identical, so one probe suffices.
+  const StagingReport probe =
+      simulate({SessionSpec{0.0, file_mb, protocol}});
+  const double each = probe.sessions[0].duration();
+  std::vector<SessionSpec> specs;
+  specs.reserve(files);
+  for (std::size_t i = 0; i < files; ++i) {
+    specs.push_back(SessionSpec{static_cast<double>(i) * each, file_mb,
+                                protocol});
+  }
+  return simulate(specs);
+}
+
+StagingReport SharedLinkSimulator::stage_batched(std::size_t files,
+                                                 Megabytes file_mb,
+                                                 Protocol protocol) const {
+  GT_REQUIRE(files >= 1, "need at least one file");
+  return simulate({SessionSpec{
+      0.0, Megabytes(file_mb.value() * static_cast<double>(files)),
+      protocol}});
+}
+
+}  // namespace gridtrust::net

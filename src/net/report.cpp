@@ -1,0 +1,22 @@
+#include "net/report.hpp"
+
+namespace gridtrust::net {
+
+std::vector<double> paper_file_sizes_mb() { return {1, 10, 100, 500, 1000}; }
+
+TextTable transfer_table(const TransferModel& model, const std::string& title,
+                         const std::vector<double>& sizes_mb) {
+  TextTable table({"File size/MB", "Using rcp/(sec)", "Using scp/(sec)",
+                   "Overhead"});
+  table.set_title(title);
+  for (const double size : sizes_mb) {
+    const Megabytes mb(size);
+    table.add_row({format_grouped(size, 0),
+                   format_grouped(model.transfer_time_s(mb, Protocol::kRcp), 2),
+                   format_grouped(model.transfer_time_s(mb, Protocol::kScp), 2),
+                   format_percent(model.security_overhead_pct(mb))});
+  }
+  return table;
+}
+
+}  // namespace gridtrust::net

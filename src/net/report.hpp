@@ -1,0 +1,20 @@
+// Rendering of the secure-vs-regular transmission tables (Tables 2-3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "net/transfer_model.hpp"
+
+namespace gridtrust::net {
+
+/// The file sizes the paper reports (MB).
+std::vector<double> paper_file_sizes_mb();
+
+/// Renders one paper-style table: per file size, the rcp time, the scp
+/// time, and the security overhead (scp-rcp)/scp.
+TextTable transfer_table(const TransferModel& model, const std::string& title,
+                         const std::vector<double>& sizes_mb);
+
+}  // namespace gridtrust::net

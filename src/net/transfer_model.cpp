@@ -1,0 +1,120 @@
+#include "net/transfer_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridtrust::net {
+
+HostProfile piii_866_host(const LinkProfile& link) {
+  HostProfile host;
+  // A 2002-era 100 Mbps NIC without checksum offload costs the CPU notably
+  // more per byte than a gigabit adapter with DMA and interrupt coalescing
+  // relative to its wire speed; calibrated against the paper's bulk rates.
+  host.nic_cpu_s_per_mb = link.bandwidth.value() <= 100.0 ? 0.010 : 0.002;
+  return host;
+}
+
+LinkProfile fast_ethernet_link() {
+  LinkProfile link;
+  link.bandwidth = MegabitsPerSecond(100.0);
+  link.payload_efficiency = 0.83;
+  return link;
+}
+
+LinkProfile gigabit_ethernet_link() {
+  LinkProfile link;
+  link.bandwidth = MegabitsPerSecond(1000.0);
+  link.payload_efficiency = 0.83;
+  return link;
+}
+
+MegabytesPerSecond cipher_throughput(const std::string& cipher_name) {
+  if (cipher_name == "3des") return MegabytesPerSecond(7.3);
+  if (cipher_name == "blowfish") return MegabytesPerSecond(16.0);
+  if (cipher_name == "arcfour") return MegabytesPerSecond(27.0);
+  GT_REQUIRE(false, "unknown cipher: " + cipher_name);
+  return MegabytesPerSecond(0.0);
+}
+
+std::vector<std::string> known_ciphers() {
+  return {"3des", "blowfish", "arcfour"};
+}
+
+std::string to_string(Protocol protocol) {
+  return protocol == Protocol::kRcp ? "rcp" : "scp";
+}
+
+TransferModel::TransferModel(HostProfile host, LinkProfile link)
+    : host_(host), link_(link) {
+  GT_REQUIRE(host.disk.value() > 0.0, "disk rate must be positive");
+  GT_REQUIRE(host.cipher.value() > 0.0, "cipher rate must be positive");
+  GT_REQUIRE(host.nic_cpu_s_per_mb >= 0.0, "NIC cost must be non-negative");
+  GT_REQUIRE(link.bandwidth.value() > 0.0, "bandwidth must be positive");
+  GT_REQUIRE(link.payload_efficiency > 0.0 && link.payload_efficiency <= 1.0,
+             "payload efficiency must be in (0, 1]");
+  GT_REQUIRE(link.latency_s >= 0.0, "latency must be non-negative");
+}
+
+TransferModel::StageTimes TransferModel::stage_times(Protocol protocol,
+                                                     double chunk_mb) const {
+  const MegabytesPerSecond payload =
+      to_megabytes_per_second(link_.bandwidth) * link_.payload_efficiency;
+  StageTimes t{};
+  t.disk = chunk_mb / host_.disk.value();
+  // One CPU runs protocol processing and (for scp) the cipher serially.
+  double cpu_per_mb = host_.nic_cpu_s_per_mb;
+  if (protocol == Protocol::kScp) cpu_per_mb += 1.0 / host_.cipher.value();
+  t.cpu = chunk_mb * cpu_per_mb;
+  t.wire = chunk_mb / payload.value();
+  return t;
+}
+
+TransferResult TransferModel::transfer(Megabytes size, Protocol protocol,
+                                       double chunk_mb) const {
+  GT_REQUIRE(size.value() > 0.0, "transfer size must be positive");
+  GT_REQUIRE(chunk_mb > 0.0, "chunk size must be positive");
+
+  const StageTimes t = stage_times(protocol, chunk_mb);
+  const auto chunks = static_cast<std::size_t>(
+      std::ceil(size.value() / chunk_mb));
+  // Last chunk may be partial.
+  const double last_fraction =
+      size.value() / chunk_mb - static_cast<double>(chunks - 1);
+
+  // Three-stage pipeline recurrence: chunk i leaves stage s when both the
+  // chunk has cleared stage s-1 and the stage has finished chunk i-1.
+  double disk_free = 0.0;
+  double cpu_free = 0.0;
+  double wire_free = 0.0;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const double scale = (i + 1 == chunks) ? last_fraction : 1.0;
+    disk_free = disk_free + t.disk * scale;
+    cpu_free = std::max(cpu_free, disk_free) + t.cpu * scale;
+    wire_free = std::max(wire_free, cpu_free) + t.wire * scale;
+  }
+
+  TransferResult out;
+  out.chunks = chunks;
+  out.handshake_s = (protocol == Protocol::kRcp ? host_.rcp_handshake_s
+                                                : host_.scp_handshake_s) +
+                    2.0 * link_.latency_s;
+  out.duration_s = out.handshake_s + wire_free;
+  out.steady_rate_mb_s = 1.0 / std::max({t.disk, t.cpu, t.wire}) * chunk_mb;
+  return out;
+}
+
+double TransferModel::transfer_time_s(Megabytes size,
+                                      Protocol protocol) const {
+  return transfer(size, protocol).duration_s;
+}
+
+double TransferModel::security_overhead_pct(Megabytes size) const {
+  const double rcp = transfer_time_s(size, Protocol::kRcp);
+  const double scp = transfer_time_s(size, Protocol::kScp);
+  GT_ASSERT(scp > 0.0);
+  return (scp - rcp) / scp * 100.0;
+}
+
+}  // namespace gridtrust::net

@@ -1,0 +1,192 @@
+// Batch-mode heuristics: Min-min, Max-min, Sufferage, Duplex.
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sched/heuristic.hpp"
+
+namespace gridtrust::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_batch(const SchedulingProblem& p,
+                 const std::vector<std::size_t>& batch,
+                 const Schedule& schedule) {
+  for (const std::size_t r : batch) {
+    GT_REQUIRE(r < p.num_requests(), "request index out of range");
+    GT_REQUIRE(schedule.machine_of[r] == kUnassigned,
+               "batch contains an already-assigned request");
+  }
+}
+
+/// Best machine and completion metric for one request.
+struct BestChoice {
+  std::size_t machine = 0;
+  double completion = kInf;
+  double second_completion = kInf;  // for Sufferage
+};
+
+BestChoice best_choice(const SchedulingProblem& p, std::size_t r, double ready,
+                       const Schedule& schedule) {
+  BestChoice out;
+  for (std::size_t m = 0; m < p.num_machines(); ++m) {
+    const double ct = decision_completion(p, r, m, ready, schedule);
+    if (ct < out.completion) {
+      out.second_completion = out.completion;
+      out.completion = ct;
+      out.machine = m;
+    } else if (ct < out.second_completion) {
+      out.second_completion = ct;
+    }
+  }
+  return out;
+}
+
+/// Shared engine for Min-min and Max-min: repeatedly pick the pending
+/// request whose *best* completion is extremal, commit it, re-evaluate.
+class MinMaxMin final : public BatchHeuristic {
+ public:
+  explicit MinMaxMin(bool prefer_max) : prefer_max_(prefer_max) {}
+
+  std::string name() const override { return prefer_max_ ? "max-min" : "min-min"; }
+
+  void map_batch(const SchedulingProblem& p,
+                 const std::vector<std::size_t>& batch, double ready,
+                 Schedule& schedule) override {
+    check_batch(p, batch, schedule);
+    std::vector<std::size_t> pending = batch;
+    while (!pending.empty()) {
+      std::size_t pick_pos = 0;
+      BestChoice pick = best_choice(p, pending[0], ready, schedule);
+      for (std::size_t i = 1; i < pending.size(); ++i) {
+        const BestChoice c = best_choice(p, pending[i], ready, schedule);
+        const bool better =
+            prefer_max_ ? c.completion > pick.completion
+                        : c.completion < pick.completion;
+        if (better) {
+          pick = c;
+          pick_pos = i;
+        }
+      }
+      commit_assignment(p, pending[pick_pos], pick.machine, ready, schedule);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+    }
+  }
+
+ private:
+  bool prefer_max_;
+};
+
+/// Sufferage [10]: within an iteration each machine is tentatively reserved
+/// by the pending request that would suffer most (largest gap between its
+/// second-best and best completion) if denied that machine; reservation
+/// winners commit, losers wait for the next iteration.
+class Sufferage final : public BatchHeuristic {
+ public:
+  std::string name() const override { return "sufferage"; }
+
+  void map_batch(const SchedulingProblem& p,
+                 const std::vector<std::size_t>& batch, double ready,
+                 Schedule& schedule) override {
+    check_batch(p, batch, schedule);
+    std::vector<std::size_t> pending = batch;
+    while (!pending.empty()) {
+      // machine -> (request holding it, its sufferage value)
+      std::vector<std::size_t> holder(p.num_machines(), kUnassigned);
+      std::vector<double> holder_sufferage(p.num_machines(), -kInf);
+      std::vector<std::size_t> deferred;
+      for (const std::size_t r : pending) {
+        const BestChoice c = best_choice(p, r, ready, schedule);
+        const double sufferage =
+            (c.second_completion == kInf) ? 0.0
+                                          : c.second_completion - c.completion;
+        const std::size_t m = c.machine;
+        if (holder[m] == kUnassigned) {
+          holder[m] = r;
+          holder_sufferage[m] = sufferage;
+        } else if (sufferage > holder_sufferage[m]) {
+          deferred.push_back(holder[m]);
+          holder[m] = r;
+          holder_sufferage[m] = sufferage;
+        } else {
+          deferred.push_back(r);
+        }
+      }
+      for (std::size_t m = 0; m < p.num_machines(); ++m) {
+        if (holder[m] != kUnassigned) {
+          commit_assignment(p, holder[m], m, ready, schedule);
+        }
+      }
+      GT_ASSERT(deferred.size() < pending.size());  // progress each round
+      pending = std::move(deferred);
+    }
+  }
+};
+
+/// Duplex [10]: evaluate both Min-min and Max-min, keep the better makespan.
+class Duplex final : public BatchHeuristic {
+ public:
+  std::string name() const override { return "duplex"; }
+
+  void map_batch(const SchedulingProblem& p,
+                 const std::vector<std::size_t>& batch, double ready,
+                 Schedule& schedule) override {
+    check_batch(p, batch, schedule);
+    Schedule with_min = schedule;
+    Schedule with_max = schedule;
+    MinMaxMin(false).map_batch(p, batch, ready, with_min);
+    MinMaxMin(true).map_batch(p, batch, ready, with_max);
+    schedule = (with_min.makespan() <= with_max.makespan()) ? std::move(with_min)
+                                                            : std::move(with_max);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<BatchHeuristic> make_min_min() {
+  return std::make_unique<MinMaxMin>(false);
+}
+std::unique_ptr<BatchHeuristic> make_max_min() {
+  return std::make_unique<MinMaxMin>(true);
+}
+std::unique_ptr<BatchHeuristic> make_sufferage() {
+  return std::make_unique<Sufferage>();
+}
+std::unique_ptr<BatchHeuristic> make_duplex() {
+  return std::make_unique<Duplex>();
+}
+
+std::unique_ptr<ImmediateHeuristic> make_immediate(const std::string& name) {
+  if (name == "olb") return make_olb();
+  if (name == "met") return make_met();
+  if (name == "mct") return make_mct();
+  if (name == "kpb") return make_kpb();
+  if (name == "switching") return make_switching();
+  GT_REQUIRE(false, "unknown immediate heuristic: " + name);
+  return nullptr;
+}
+
+std::unique_ptr<BatchHeuristic> make_batch(const std::string& name) {
+  if (name == "min-min") return make_min_min();
+  if (name == "max-min") return make_max_min();
+  if (name == "sufferage") return make_sufferage();
+  if (name == "duplex") return make_duplex();
+  if (name == "genetic") return make_genetic();
+  if (name == "annealing") return make_annealing();
+  if (name == "tabu") return make_tabu();
+  GT_REQUIRE(false, "unknown batch heuristic: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> immediate_heuristic_names() {
+  return {"olb", "met", "mct", "kpb", "switching"};
+}
+
+std::vector<std::string> batch_heuristic_names() {
+  return {"min-min", "max-min", "sufferage", "duplex", "genetic",
+          "annealing", "tabu"};
+}
+
+}  // namespace gridtrust::sched

@@ -1,0 +1,34 @@
+#include "sched/executor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gridtrust::sched {
+
+Schedule run_immediate(const SchedulingProblem& p, ImmediateHeuristic& h) {
+  Schedule schedule = Schedule::for_problem(p);
+  std::vector<std::size_t> order(p.num_requests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return p.arrival_time(a) < p.arrival_time(b);
+                   });
+  h.reset();
+  for (const std::size_t r : order) {
+    const double ready = p.arrival_time(r);
+    const std::size_t m = h.select_machine(p, r, ready, schedule);
+    commit_assignment(p, r, m, ready, schedule);
+  }
+  return schedule;
+}
+
+Schedule run_batch_all(const SchedulingProblem& p, BatchHeuristic& h,
+                       double ready) {
+  Schedule schedule = Schedule::for_problem(p);
+  std::vector<std::size_t> batch(p.num_requests());
+  std::iota(batch.begin(), batch.end(), std::size_t{0});
+  h.map_batch(p, batch, ready, schedule);
+  return schedule;
+}
+
+}  // namespace gridtrust::sched

@@ -1,0 +1,22 @@
+// Offline executors: run a heuristic over a whole problem instance.
+//
+// These are the "all requests known" execution modes used by unit tests,
+// ablations, and microbenchmarks.  The event-driven RMS (arrivals over
+// simulated time, periodic meta-request formation) lives in sim/.
+#pragma once
+
+#include "sched/heuristic.hpp"
+#include "sched/schedule.hpp"
+
+namespace gridtrust::sched {
+
+/// Runs an immediate-mode heuristic over every request in arrival order
+/// (stable on equal arrivals).  Each request's ready time is its arrival.
+Schedule run_immediate(const SchedulingProblem& p, ImmediateHeuristic& h);
+
+/// Runs a batch heuristic on the whole instance as one meta-request formed
+/// at time `ready` (default 0).
+Schedule run_batch_all(const SchedulingProblem& p, BatchHeuristic& h,
+                       double ready = 0.0);
+
+}  // namespace gridtrust::sched

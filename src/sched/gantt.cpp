@@ -1,0 +1,92 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gridtrust::sched {
+
+namespace {
+
+char id_glyph(std::size_t request) {
+  static constexpr char kGlyphs[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  return kGlyphs[request % 36];
+}
+
+}  // namespace
+
+std::string render_gantt(const SchedulingProblem& problem,
+                         const Schedule& schedule,
+                         const GanttOptions& options) {
+  GT_REQUIRE(options.width >= 8, "gantt width must be at least 8");
+  GT_REQUIRE(schedule.machine_of.size() == problem.num_requests(),
+             "schedule does not match the problem");
+  GT_REQUIRE(options.machine_names.empty() ||
+                 options.machine_names.size() == problem.num_machines(),
+             "machine name count must match the machine count");
+
+  const double makespan = schedule.makespan();
+  GT_REQUIRE(makespan > 0.0, "nothing scheduled yet");
+  const double bin = makespan / static_cast<double>(options.width);
+
+  // Per machine, the assigned requests sorted by start time.
+  std::vector<std::vector<std::size_t>> by_machine(problem.num_machines());
+  for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+    if (schedule.machine_of[r] == kUnassigned) continue;
+    by_machine[schedule.machine_of[r]].push_back(r);
+  }
+  for (auto& requests : by_machine) {
+    std::sort(requests.begin(), requests.end(),
+              [&](std::size_t a, std::size_t b) {
+                return schedule.start[a] < schedule.start[b];
+              });
+  }
+
+  std::size_t label_width = 2;
+  for (std::size_t m = 0; m < problem.num_machines(); ++m) {
+    const std::size_t len = options.machine_names.empty()
+                                ? ("m" + std::to_string(m)).size()
+                                : options.machine_names[m].size();
+    label_width = std::max(label_width, len);
+  }
+
+  std::ostringstream os;
+  for (std::size_t m = 0; m < problem.num_machines(); ++m) {
+    const std::string label = options.machine_names.empty()
+                                  ? "m" + std::to_string(m)
+                                  : options.machine_names[m];
+    os << label << std::string(label_width - label.size(), ' ') << " |";
+    std::string row(options.width, '.');
+    for (const std::size_t r : by_machine[m]) {
+      // Fill the cells whose midpoints fall inside [start, completion).
+      auto first = static_cast<std::size_t>(schedule.start[r] / bin);
+      auto last = static_cast<std::size_t>(schedule.completion[r] / bin);
+      first = std::min(first, options.width - 1);
+      last = std::min(last, options.width - 1);
+      for (std::size_t c = first; c <= last; ++c) {
+        const double midpoint = (static_cast<double>(c) + 0.5) * bin;
+        if (midpoint >= schedule.start[r] &&
+            midpoint < schedule.completion[r]) {
+          row[c] = id_glyph(r);
+        }
+      }
+    }
+    os << row << "|\n";
+  }
+  if (options.axis) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", makespan);
+    const std::string right(buf);
+    os << std::string(label_width, ' ') << " 0"
+       << std::string(options.width - right.size() > 1
+                          ? options.width - right.size() - 1
+                          : 1,
+                      ' ')
+       << right << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gridtrust::sched

@@ -1,0 +1,36 @@
+// ASCII Gantt rendering of schedules.
+//
+// A quick visual check of what a heuristic produced: one row per machine,
+// time binned across a fixed character width, each busy cell labelled with
+// its request id (base-36, so ids wrap after 35 but adjacent tasks stay
+// distinguishable), '.' for idle.
+//
+//   m0 |000001111333.....|
+//   m1 |2222222222222222|
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace gridtrust::sched {
+
+/// Options for render_gantt.
+struct GanttOptions {
+  /// Characters used for the timeline of each machine.
+  std::size_t width = 72;
+  /// Optional machine labels; defaults to m0, m1, ...
+  std::vector<std::string> machine_names;
+  /// Print a time axis below the chart.
+  bool axis = true;
+};
+
+/// Renders the schedule; unassigned requests are ignored.  The time span is
+/// [0, makespan].  Requires at least one assigned request.
+std::string render_gantt(const SchedulingProblem& problem,
+                         const Schedule& schedule,
+                         const GanttOptions& options = {});
+
+}  // namespace gridtrust::sched

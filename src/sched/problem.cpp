@@ -1,0 +1,101 @@
+#include "sched/problem.hpp"
+
+#include "common/error.hpp"
+
+namespace gridtrust::sched {
+
+SchedulingProblem::SchedulingProblem(CostMatrix eec, TrustCostMatrix tc,
+                                     SchedulingPolicy policy,
+                                     SecurityCostModel model,
+                                     std::vector<double> arrival_times)
+    : eec_(std::move(eec)),
+      tc_(std::move(tc)),
+      policy_(std::move(policy)),
+      model_(model),
+      arrivals_(std::move(arrival_times)) {
+  GT_REQUIRE(eec_.rows() == tc_.rows() && eec_.cols() == tc_.cols(),
+             "EEC and trust-cost matrices must have identical shapes");
+  GT_REQUIRE(arrivals_.empty() || arrivals_.size() == eec_.rows(),
+             "arrival times must cover every request");
+  for (std::size_t r = 0; r < eec_.rows(); ++r) {
+    for (std::size_t m = 0; m < eec_.cols(); ++m) {
+      GT_REQUIRE(eec_.get(r, m) >= 0.0, "EEC values must be non-negative");
+      GT_REQUIRE(tc_.get(r, m) >= 0 && tc_.get(r, m) <= trust::kMaxTrustCost,
+                 "trust costs must be in [0, 6]");
+    }
+  }
+}
+
+double SchedulingProblem::arrival_time(std::size_t r) const {
+  GT_REQUIRE(r < num_requests(), "request index out of range");
+  return arrivals_.empty() ? 0.0 : arrivals_[r];
+}
+
+void SchedulingProblem::set_extra_costs(CostMatrix decision,
+                                        CostMatrix actual) {
+  GT_REQUIRE(decision.rows() == eec_.rows() && decision.cols() == eec_.cols(),
+             "extra decision costs must match the problem's shape");
+  GT_REQUIRE(actual.rows() == eec_.rows() && actual.cols() == eec_.cols(),
+             "extra actual costs must match the problem's shape");
+  for (std::size_t r = 0; r < eec_.rows(); ++r) {
+    for (std::size_t m = 0; m < eec_.cols(); ++m) {
+      GT_REQUIRE(decision.get(r, m) >= 0.0 && actual.get(r, m) >= 0.0,
+                 "extra costs must be non-negative");
+    }
+  }
+  extra_decision_ = std::move(decision);
+  extra_actual_ = std::move(actual);
+}
+
+SchedulingProblem SchedulingProblem::with_policy(
+    SchedulingPolicy policy) const {
+  SchedulingProblem out(eec_, tc_, std::move(policy), model_, arrivals_);
+  out.extra_decision_ = extra_decision_;
+  out.extra_actual_ = extra_actual_;
+  return out;
+}
+
+TrustCostMatrix compute_trust_costs(const grid::GridSystem& grid,
+                                    const std::vector<grid::Request>& requests,
+                                    const trust::TrustLevelTable& table,
+                                    const SecurityCostModel& model,
+                                    int unsupported_penalty) {
+  GT_REQUIRE(!requests.empty(), "need at least one request");
+  GT_REQUIRE(unsupported_penalty >= 0 &&
+                 unsupported_penalty <= trust::kMaxTrustCost,
+             "penalty must be a valid trust cost");
+  GT_REQUIRE(table.resource_domains() == grid.resource_domains().size() &&
+                 table.client_domains() == grid.client_domains().size(),
+             "trust table does not match the grid topology");
+
+  const std::size_t n_machines = grid.machines().size();
+  TrustCostMatrix tc(requests.size(), n_machines, 0);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const grid::Request& req = requests[r];
+    GT_REQUIRE(!req.activities.empty(), "a request needs at least one ToA");
+    GT_REQUIRE(req.client_domain < grid.client_domains().size(),
+               "request originates from an unknown client domain");
+    for (std::size_t m = 0; m < n_machines; ++m) {
+      const grid::ResourceDomainId rd = grid.domain_of_machine(m);
+      const grid::ResourceDomain& domain = grid.resource_domain(rd);
+      bool supported = true;
+      for (const grid::ActivityId act : req.activities) {
+        if (!domain.supports(act)) {
+          supported = false;
+          break;
+        }
+      }
+      if (!supported) {
+        tc.at(r, m) = unsupported_penalty;
+        continue;
+      }
+      const trust::TrustLevel otl = table.offered_trust_level(
+          req.client_domain, rd,
+          std::span<const std::size_t>(req.activities));
+      tc.at(r, m) = model.trust_cost(req.effective_rtl(), otl);
+    }
+  }
+  return tc;
+}
+
+}  // namespace gridtrust::sched

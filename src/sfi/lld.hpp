@@ -1,0 +1,144 @@
+// Logical log-structured disk workload (§5.1).
+//
+// The second target application of the sandboxing study: an in-memory
+// log-structured block store.  Writes append whole blocks to a log and
+// update a block map; when the log fills, a cleaner compacts live blocks.
+// Block copies dominate, interleaved with map arithmetic, so its SFI
+// overhead sits between the hotlist's and MD5's.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridtrust::sfi {
+
+/// A logical log-structured disk over any memory policy heap.
+///
+/// Heap layout: block map (logical_blocks words) | slot owners
+/// (log_slots words) | log area (log_slots * block size bytes).
+template <typename Heap>
+class LogStructuredDisk {
+ public:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+  static constexpr std::size_t kBlockBytes = 256;
+
+  static std::size_t heap_bytes(std::size_t logical_blocks,
+                                std::size_t log_slots) {
+    return (logical_blocks + log_slots) * 4 + log_slots * kBlockBytes;
+  }
+
+  /// `log_slots` must exceed `logical_blocks`, or the cleaner could not
+  /// reclaim space.
+  LogStructuredDisk(Heap& heap, std::size_t logical_blocks,
+                    std::size_t log_slots)
+      : heap_(heap), blocks_(logical_blocks), slots_(log_slots) {
+    GT_REQUIRE(logical_blocks >= 1, "need at least one logical block");
+    GT_REQUIRE(log_slots > logical_blocks,
+               "the log must have more slots than logical blocks");
+    GT_REQUIRE(heap.size() >= heap_bytes(logical_blocks, log_slots),
+               "heap too small");
+    map_base_ = 0;
+    owner_base_ = blocks_ * 4;
+    log_base_ = owner_base_ + slots_ * 4;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      heap_.store32(map_base_ + b * 4, kNull);
+    }
+    for (std::size_t s = 0; s < slots_; ++s) {
+      heap_.store32(owner_base_ + s * 4, kNull);
+    }
+    head_ = 0;
+  }
+
+  /// Writes a block: fills kBlockBytes with a pattern derived from `stamp`,
+  /// appends at the log head, retires the previous version, and updates the
+  /// map.  Triggers cleaning when the log is full.
+  void write(std::size_t block, std::uint32_t stamp) {
+    GT_REQUIRE(block < blocks_, "block out of range");
+    if (head_ == slots_) clean();
+    GT_ASSERT(head_ < slots_);
+    const std::size_t slot = head_++;
+    // Retire the old version.
+    const std::uint32_t old_slot = heap_.load32(map_base_ + block * 4);
+    if (old_slot != kNull) {
+      heap_.store32(owner_base_ + old_slot * 4, kNull);
+    }
+    // Fill the block body.
+    const std::size_t base = log_base_ + slot * kBlockBytes;
+    for (std::size_t off = 0; off < kBlockBytes; off += 4) {
+      heap_.store32(base + off,
+                    stamp ^ static_cast<std::uint32_t>(off * 2654435761u));
+    }
+    heap_.store32(owner_base_ + slot * 4, static_cast<std::uint32_t>(block));
+    heap_.store32(map_base_ + block * 4, static_cast<std::uint32_t>(slot));
+  }
+
+  /// Reads a block back as a word-folded digest; kNull-mapped blocks fold
+  /// to zero.
+  std::uint32_t read(std::size_t block) const {
+    GT_REQUIRE(block < blocks_, "block out of range");
+    const std::uint32_t slot = heap_.load32(map_base_ + block * 4);
+    if (slot == kNull) return 0;
+    const std::size_t base = log_base_ + slot * kBlockBytes;
+    std::uint32_t digest = 0;
+    for (std::size_t off = 0; off < kBlockBytes; off += 4) {
+      digest = (digest * 31u) ^ heap_.load32(base + off);
+    }
+    return digest;
+  }
+
+  /// Compacts live blocks to the front of the log.
+  void clean() {
+    std::size_t write_slot = 0;
+    for (std::size_t s = 0; s < slots_; ++s) {
+      const std::uint32_t owner = heap_.load32(owner_base_ + s * 4);
+      if (owner == kNull) continue;
+      if (write_slot != s) {
+        // Copy the block body to its new slot.
+        const std::size_t src = log_base_ + s * kBlockBytes;
+        const std::size_t dst = log_base_ + write_slot * kBlockBytes;
+        for (std::size_t off = 0; off < kBlockBytes; off += 4) {
+          heap_.store32(dst + off, heap_.load32(src + off));
+        }
+        heap_.store32(owner_base_ + write_slot * 4, owner);
+        heap_.store32(owner_base_ + s * 4, kNull);
+        heap_.store32(map_base_ + owner * 4,
+                      static_cast<std::uint32_t>(write_slot));
+      }
+      ++write_slot;
+    }
+    head_ = write_slot;
+    ++cleanings_;
+    GT_ASSERT(head_ < slots_);  // live blocks <= logical blocks < slots
+  }
+
+  std::size_t cleanings() const { return cleanings_; }
+
+  /// Runs a randomized write/read mix and returns a digest of all reads.
+  std::uint64_t run(std::size_t iterations, Rng& rng) {
+    std::uint64_t digest = 0;
+    for (std::size_t i = 0; i < iterations; ++i) {
+      const std::uint32_t v = rng();
+      const std::size_t block = (v >> 8) % blocks_;
+      if ((v & 0xffu) < 115) {  // ~45 % writes
+        write(block, static_cast<std::uint32_t>(i * 2246822519u));
+      } else {
+        digest = digest * 1099511628211ULL + read(block);
+      }
+    }
+    return digest;
+  }
+
+ private:
+  Heap& heap_;
+  std::size_t blocks_;
+  std::size_t slots_;
+  std::size_t map_base_ = 0;
+  std::size_t owner_base_ = 0;
+  std::size_t log_base_ = 0;
+  std::size_t head_ = 0;
+  std::size_t cleanings_ = 0;
+};
+
+}  // namespace gridtrust::sfi

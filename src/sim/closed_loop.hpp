@@ -1,0 +1,155 @@
+// Closed-loop TRMS: trust evolution in the scheduling loop.
+//
+// The paper's conclusion lists "techniques for managing and evolving trust
+// ... and mechanisms for determining trust values from ongoing transactions"
+// as open work.  This module implements that loop end to end:
+//
+//   round k: generate requests -> compute trust costs from the *current*
+//   trust-level table -> schedule (immediate or batch TRMS) -> every
+//   completed execution is a transaction whose observed conduct is drawn
+//   from the hosting domain's latent behaviour -> the Fig. 1 agents fold the
+//   transactions into the trust engine and refresh the table -> round k+1
+//   schedules against the updated table.
+//
+// The headline question: does an adaptive TRMS learn to keep sensitive work
+// off misbehaving domains, and what does that cost in makespan?
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "grid/grid_system.hpp"
+#include "sim/trm_simulation.hpp"
+#include "trust/agents.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/request_gen.hpp"
+
+namespace gridtrust::sim {
+
+/// Latent (ground-truth) conduct of a domain on the 1..6 trust scale.
+struct DomainBehavior {
+  DomainBehavior() = default;
+  DomainBehavior(double mean_value, double noise)
+      : mean(mean_value), sigma(noise) {}
+
+  double mean = 5.0;   ///< typical observed conduct
+  double sigma = 0.4;  ///< observation noise
+  /// Per-activity conduct overrides: a domain can be trustworthy for
+  /// storage yet hostile for execution — the reason the model attaches a
+  /// TL to every (domain pair, ToA) rather than just to domain pairs.
+  std::map<grid::ActivityId, double> activity_mean;
+
+  /// Conduct mean for one activity (override or the domain-wide mean).
+  double mean_for(grid::ActivityId activity) const {
+    const auto it = activity_mean.find(activity);
+    return it != activity_mean.end() ? it->second : mean;
+  }
+  /// The worst conduct over a request's activities (drives exposure).
+  double worst_mean(const std::vector<grid::ActivityId>& activities) const;
+};
+
+/// Configuration of a closed-loop run.
+struct ClosedLoopConfig {
+  std::size_t rounds = 20;
+  std::size_t tasks_per_round = 40;
+  /// When false the table stays at its initial values (the non-adaptive
+  /// control arm).
+  bool adaptive = true;
+  /// Every table entry starts here (no prior knowledge).
+  trust::TrustLevel initial_level = trust::TrustLevel::kC;
+  /// Warm start: when set, the loop begins from this table (e.g. one
+  /// persisted by trust::save_table from an earlier deployment) instead of
+  /// the uniform initial_level.  Dimensions must match the grid.
+  std::optional<trust::TrustLevelTable> initial_table;
+  /// Minimum observations before an agent may update a table entry.
+  std::uint64_t min_transactions = 3;
+  /// Replica staleness: §3.1 allows the central table to be "replicated at
+  /// different domains for reading purposes".  The scheduler in round k
+  /// reads the master table as of round k - replica_staleness_rounds
+  /// (0 = reads the master directly; agents always write to the master).
+  std::size_t replica_staleness_rounds = 0;
+
+  /// A conduct change applied at the start of a round: resource domain
+  /// `rd`'s domain-wide mean becomes `new_mean` (a compromise, or a
+  /// remediation).  Per-activity overrides are left untouched.
+  struct ConductChange {
+    std::size_t round = 0;
+    std::size_t rd = 0;
+    double new_mean = 1.0;
+  };
+  /// Mid-run behaviour changes, for studying detection and recovery.
+  std::vector<ConductChange> conduct_changes;
+
+  /// How the trust-level table is maintained from observations.
+  enum class TableMaintainer {
+    /// The paper's Fig. 1 agents over the §2.2 engine (per-evaluator direct
+    /// trust + recommender-weighted reputation).
+    kGammaBridge,
+    /// A pooled-evidence Beta reputation baseline: one global opinion per
+    /// (RD, activity) shared by every client domain.  No recommender
+    /// weighting — the comparison arm for collusion studies.
+    kBetaPooled,
+  };
+  TableMaintainer maintainer = TableMaintainer::kGammaBridge;
+
+  /// Collusion attack: each (cd, rd) pair makes client domain `cd` report a
+  /// flawless 6.0 for resource domain `rd` regardless of actual conduct.
+  /// Under kGammaBridge the colluders are also registered as allies so the
+  /// recommender factor R can do its job; the Beta pool has no such notion.
+  std::vector<std::pair<std::size_t, std::size_t>> colluding_pairs;
+  TrmsConfig rms;
+  sched::SecurityCostConfig security;
+  trust::TrustEngineConfig engine;
+  workload::RequestGenParams requests;
+  workload::HeterogeneityParams heterogeneity;
+
+  ClosedLoopConfig() {
+    requests.arrival_rate = 1.0;
+    heterogeneity = workload::inconsistent_lolo();
+  }
+};
+
+/// Per-round outcome metrics.
+struct RoundMetrics {
+  std::size_t round = 0;
+  double makespan = 0.0;
+  /// Mean trust cost (from the table) of the chosen machines.
+  double mean_chosen_tc = 0.0;
+  /// Fraction of sensitive requests (effective RTL >= D) placed on domains
+  /// whose *true* conduct is below 3 ("misplaced" work).
+  double misplaced_sensitive_fraction = 0.0;
+  /// Mean residual (uncovered) exposure: the ETS supplement protects the
+  /// gap between RTL and the *table's* offered level; whatever trust the
+  /// table over-credits relative to true conduct stays unprotected:
+  ///   residual = max(0, min(RTL, OTL_table) - true conduct).
+  /// This is the quantity an adaptive table drives to zero.
+  double mean_residual_exposure = 0.0;
+  /// Residual exposure over requests from *honest* client domains only
+  /// (domains not party to any colluding pair).  Equal to
+  /// mean_residual_exposure when no collusion is configured.  The fair
+  /// victim-side metric for collusion studies: colluders accept their own
+  /// risk, honest domains should not inherit it.
+  double mean_residual_exposure_honest = 0.0;
+  /// Table entries the agents updated after this round.
+  std::size_t table_updates = 0;
+};
+
+/// Result of a closed-loop run.
+struct ClosedLoopResult {
+  std::vector<RoundMetrics> rounds;
+  /// Final table (to inspect what the system learned).
+  trust::TrustLevelTable final_table{1, 1, 1};
+  std::uint64_t transactions = 0;
+};
+
+/// Runs the closed loop on `grid`.  `rd_conduct` gives each resource
+/// domain's latent behaviour (size must match the grid's RD count);
+/// `cd_conduct` the client domains'.
+ClosedLoopResult run_closed_loop(const grid::GridSystem& grid,
+                                 const std::vector<DomainBehavior>& rd_conduct,
+                                 const std::vector<DomainBehavior>& cd_conduct,
+                                 const ClosedLoopConfig& config, Rng rng);
+
+}  // namespace gridtrust::sim

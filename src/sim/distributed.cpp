@@ -1,0 +1,104 @@
+#include "sim/distributed.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/error.hpp"
+#include "des/simulator.hpp"
+
+namespace gridtrust::sim {
+
+namespace {
+
+/// One domain's scheduler: a heuristic plus a private (possibly stale)
+/// view of the machine-available times.  The view is carried in a Schedule
+/// object so the stock immediate-mode heuristics can read it.
+struct DomainScheduler {
+  std::unique_ptr<sched::ImmediateHeuristic> heuristic;
+  sched::Schedule view;
+};
+
+}  // namespace
+
+DistributedResult run_distributed(const sched::SchedulingProblem& problem,
+                                  const std::vector<grid::ClientDomainId>& owner,
+                                  const DistributedConfig& config) {
+  GT_REQUIRE(problem.num_requests() > 0, "nothing to schedule");
+  GT_REQUIRE(owner.size() == problem.num_requests(),
+             "need an owner per request");
+
+  // Instantiate one scheduler per distinct owner.
+  std::map<grid::ClientDomainId, DomainScheduler> schedulers;
+  for (const grid::ClientDomainId cd : owner) {
+    if (!schedulers.count(cd)) {
+      DomainScheduler s;
+      s.heuristic = sched::make_immediate(config.heuristic);
+      s.heuristic->reset();
+      s.view = sched::Schedule::for_problem(problem);
+      schedulers.emplace(cd, std::move(s));
+    }
+  }
+
+  des::Simulator sim;
+  sched::Schedule truth = sched::Schedule::for_problem(problem);
+  std::vector<double> believed_completion(problem.num_requests(), 0.0);
+  std::size_t dispatched = 0;
+  std::size_t syncs = 0;
+
+  // Arrival events: the owner's scheduler decides on its own view, commits
+  // to the shared truth, and advances only its own view.
+  for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+    sim.schedule_at(problem.arrival_time(r), [&, r] {
+      DomainScheduler& ds = schedulers.at(owner[r]);
+      const double ready = sim.now();
+      const std::size_t m =
+          ds.heuristic->select_machine(problem, r, ready, ds.view);
+      // What the scheduler thinks will happen...
+      const double believed_start =
+          std::max({ds.view.machine_available[m], ready,
+                    problem.arrival_time(r)});
+      believed_completion[r] = believed_start + problem.decision_cost(r, m);
+      ds.view.machine_available[m] =
+          believed_start + problem.actual_cost(r, m);
+      // ...and what actually happens on the serialized machine.
+      sched::commit_assignment(problem, r, m, ready, truth);
+      ++dispatched;
+    });
+  }
+
+  // Periodic synchronization: every view snaps to the true availability.
+  // `sync` must outlive sim.run(): rescheduled copies call back into it.
+  std::function<void()> sync;
+  if (config.sync_interval > 0.0) {
+    sync = [&] {
+      for (auto& [cd, ds] : schedulers) {
+        ds.view.machine_available = truth.machine_available;
+      }
+      ++syncs;
+      if (dispatched < problem.num_requests()) {
+        sim.schedule_in(config.sync_interval, sync);
+      }
+    };
+    sim.schedule_in(config.sync_interval, sync);
+  }
+
+  sim.run();
+  GT_ASSERT(truth.complete());
+
+  DistributedResult out;
+  out.makespan = truth.makespan();
+  out.utilization_pct = truth.utilization_pct();
+  out.mean_flow_time = truth.mean_flow_time(problem);
+  out.syncs = syncs;
+  double error = 0.0;
+  for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+    error += std::abs(truth.completion[r] - believed_completion[r]);
+  }
+  out.mean_decision_error =
+      error / static_cast<double>(problem.num_requests());
+  out.schedule = std::move(truth);
+  return out;
+}
+
+}  // namespace gridtrust::sim

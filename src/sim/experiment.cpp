@@ -1,0 +1,120 @@
+#include "sim/experiment.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+#include "sched/problem.hpp"
+
+namespace gridtrust::sim {
+
+Instance draw_instance(const Scenario& scenario,
+                       const sched::SchedulingPolicy& policy, Rng& rng) {
+  grid::GridSystem grid = grid::make_random_grid(scenario.grid, rng);
+  trust::TrustLevelTable table =
+      workload::random_trust_table(grid, rng, scenario.table_correlation);
+  std::vector<grid::Request> requests =
+      workload::generate_requests(grid, scenario.tasks, scenario.requests, rng);
+  const sched::SecurityCostModel model(scenario.security);
+  sched::TrustCostMatrix tc =
+      sched::compute_trust_costs(grid, requests, table, model);
+  sched::CostMatrix eec = workload::generate_eec(
+      scenario.tasks, grid.machines().size(), scenario.heterogeneity, rng);
+  std::vector<double> arrivals;
+  arrivals.reserve(requests.size());
+  for (const grid::Request& r : requests) arrivals.push_back(r.arrival_time);
+  sched::SchedulingProblem problem(std::move(eec), std::move(tc), policy,
+                                   model, std::move(arrivals));
+  return Instance{std::move(grid), std::move(table), std::move(requests),
+                  std::move(problem)};
+}
+
+SimulationResult run_single(const Scenario& scenario,
+                            const sched::SchedulingPolicy& policy, Rng rng) {
+  const Instance instance = draw_instance(scenario, policy, rng);
+  return run_trms(instance.problem, scenario.rms);
+}
+
+ComparisonResult run_comparison(const Scenario& scenario,
+                                std::size_t replications, std::uint64_t seed,
+                                ThreadPool* pool) {
+  GT_REQUIRE(replications >= 1, "need at least one replication");
+
+  ComparisonResult result;
+  result.scenario = scenario;
+  result.replications = replications;
+
+  std::vector<double> unaware_mk(replications);
+  std::vector<double> aware_mk(replications);
+  std::vector<SimulationResult> unaware_runs(replications);
+  std::vector<SimulationResult> aware_runs(replications);
+
+  const Rng master(seed);
+  const auto run_one = [&](std::size_t i) {
+    // Both policies see the identical instance: same stream, same draws.
+    Rng rng = master.stream(i);
+    const Instance instance =
+        draw_instance(scenario, sched::trust_unaware_policy(), rng);
+    unaware_runs[i] = run_trms(instance.problem, scenario.rms);
+    aware_runs[i] = run_trms(
+        instance.problem.with_policy(sched::trust_aware_policy()),
+        scenario.rms);
+    unaware_mk[i] = unaware_runs[i].makespan;
+    aware_mk[i] = aware_runs[i].makespan;
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(replications, run_one);
+  } else {
+    for (std::size_t i = 0; i < replications; ++i) run_one(i);
+  }
+
+  for (std::size_t i = 0; i < replications; ++i) {
+    result.unaware.makespan.add(unaware_runs[i].makespan);
+    result.unaware.utilization_pct.add(unaware_runs[i].utilization_pct);
+    result.unaware.mean_flow_time.add(unaware_runs[i].mean_flow_time);
+    result.unaware.flow_time_p95.add(unaware_runs[i].flow_time_p95);
+    result.unaware.batches.add(static_cast<double>(unaware_runs[i].batches));
+    result.aware.makespan.add(aware_runs[i].makespan);
+    result.aware.utilization_pct.add(aware_runs[i].utilization_pct);
+    result.aware.mean_flow_time.add(aware_runs[i].mean_flow_time);
+    result.aware.flow_time_p95.add(aware_runs[i].flow_time_p95);
+    result.aware.batches.add(static_cast<double>(aware_runs[i].batches));
+  }
+  result.makespan_cmp = paired_comparison(unaware_mk, aware_mk);
+  result.improvement_pct = result.makespan_cmp.improvement_pct;
+  return result;
+}
+
+TextTable paper_table(const std::string& title,
+                      const std::vector<ComparisonResult>& rows) {
+  TextTable table({"# of tasks", "Using trust", "Machine utilization",
+                   "Ave. completion time (sec)", "Improvement"});
+  table.set_title(title);
+  bool first = true;
+  for (const ComparisonResult& row : rows) {
+    if (!first) table.add_separator();
+    first = false;
+    table.add_row({std::to_string(row.scenario.tasks), "No",
+                   format_percent(row.unaware.utilization_pct.mean()),
+                   format_grouped(row.unaware.makespan.mean(), 2),
+                   format_percent(row.improvement_pct)});
+    table.add_row({"", "Yes",
+                   format_percent(row.aware.utilization_pct.mean()),
+                   format_grouped(row.aware.makespan.mean(), 2), ""});
+  }
+  return table;
+}
+
+std::string summarize(const ComparisonResult& result) {
+  const double rel_ci =
+      result.makespan_cmp.mean_base > 0.0
+          ? result.makespan_cmp.ci95_diff / result.makespan_cmp.mean_base * 100.0
+          : 0.0;
+  return "tasks=" + std::to_string(result.scenario.tasks) + " " +
+         result.scenario.rms.heuristic + ": improvement " +
+         format_percent(result.improvement_pct) + " (95% CI half-width " +
+         format_percent(rel_ci) + ", n=" +
+         std::to_string(result.replications) + ")";
+}
+
+}  // namespace gridtrust::sim

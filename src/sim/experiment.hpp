@@ -1,0 +1,103 @@
+// Replicated trust-aware vs trust-unaware experiments (Tables 4-9).
+//
+// One replication draws a random Grid topology, trust-level table, EEC
+// matrix, and request stream from a per-replication RNG stream, then runs
+// the RMS twice on the *same* instance: once trust-unaware, once
+// trust-aware (common random numbers).  Rows aggregate means and paired
+// confidence intervals across replications.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "grid/grid_system.hpp"
+#include "sim/trm_simulation.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/request_gen.hpp"
+
+namespace gridtrust::sim {
+
+/// Everything defining one experimental condition (a paper-table row pair).
+struct Scenario {
+  /// Requests per replication (the paper uses 50 and 100).
+  std::size_t tasks = 50;
+  /// Random Grid topology (defaults: 5 machines, #CD,#RD ~ U[1,4]).
+  grid::RandomGridParams grid;
+  /// EEC matrix class (defaults: inconsistent LoLo).
+  workload::HeterogeneityParams heterogeneity;
+  /// Request generation (ToAs ~ U[1,4], RTLs ~ U[A,F]).
+  workload::RequestGenParams requests;
+  /// Trust-table structure (default: pair-level, see DESIGN.md).
+  workload::TableCorrelation table_correlation =
+      workload::TableCorrelation::kPairLevel;
+  /// ESC pricing (TC weight 15 %, blanket 50 %).
+  sched::SecurityCostConfig security;
+  /// RMS mode + heuristic + batch interval.
+  TrmsConfig rms;
+
+  Scenario() { requests.arrival_rate = 1.0; }
+};
+
+/// Aggregates of one policy over all replications.
+struct PolicyStats {
+  RunningStats makespan;
+  RunningStats utilization_pct;
+  RunningStats mean_flow_time;
+  RunningStats flow_time_p95;
+  RunningStats batches;
+};
+
+/// One trust-unaware vs trust-aware comparison (a pair of table rows).
+struct ComparisonResult {
+  Scenario scenario;
+  std::size_t replications = 0;
+  PolicyStats unaware;
+  PolicyStats aware;
+  /// Paired statistics of the makespans (common random numbers).
+  PairedComparison makespan_cmp;
+  /// The paper's headline number: mean improvement of the makespan.
+  double improvement_pct = 0.0;
+};
+
+/// Runs `replications` paired simulations of `scenario`.  Seeds derive from
+/// `seed`; pass a thread pool to spread replications over workers (results
+/// are identical either way).
+ComparisonResult run_comparison(const Scenario& scenario,
+                                std::size_t replications, std::uint64_t seed,
+                                ThreadPool* pool = nullptr);
+
+/// One fully drawn instance: topology, trust table, requests, and the
+/// scheduling problem bound to a policy.  Exposed so ablation benches and
+/// alternative schedulers (e.g. sim::run_distributed) can reuse the exact
+/// §5.3 instance-drawing procedure.
+struct Instance {
+  grid::GridSystem grid;
+  trust::TrustLevelTable table;
+  std::vector<grid::Request> requests;
+  sched::SchedulingProblem problem;
+};
+
+/// Draws one instance from `scenario` using `rng` (which is advanced).
+/// The problem is bound to `policy`; rebind with problem.with_policy().
+Instance draw_instance(const Scenario& scenario,
+                       const sched::SchedulingPolicy& policy, Rng& rng);
+
+/// Runs a single replication with explicit policies; exposed for tests and
+/// ablation benches that want non-paper policy combinations.
+SimulationResult run_single(const Scenario& scenario,
+                            const sched::SchedulingPolicy& policy, Rng rng);
+
+/// Renders rows in the exact layout of the paper's Tables 4-9; pass the
+/// results for each task count (e.g. 50 and 100).
+TextTable paper_table(const std::string& title,
+                      const std::vector<ComparisonResult>& rows);
+
+/// A one-line summary ("improvement 36.4 % ± 1.2 %") for logs.
+std::string summarize(const ComparisonResult& result);
+
+}  // namespace gridtrust::sim

@@ -1,0 +1,101 @@
+#include "sim/trm_simulation.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "des/simulator.hpp"
+
+namespace gridtrust::sim {
+
+namespace {
+
+SimulationResult finish(const sched::SchedulingProblem& problem,
+                        sched::Schedule schedule, std::size_t batches,
+                        std::uint64_t events) {
+  GT_ASSERT(schedule.complete());
+  SimulationResult out;
+  out.makespan = schedule.makespan();
+  out.utilization_pct = schedule.utilization_pct();
+  out.mean_flow_time = schedule.mean_flow_time(problem);
+  std::vector<double> flows;
+  flows.reserve(problem.num_requests());
+  for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+    flows.push_back(schedule.completion[r] - problem.arrival_time(r));
+  }
+  out.flow_time_p50 = percentile(flows, 50.0);
+  out.flow_time_p95 = percentile(flows, 95.0);
+  out.batches = batches;
+  out.events = events;
+  out.schedule = std::move(schedule);
+  return out;
+}
+
+SimulationResult run_immediate_mode(const sched::SchedulingProblem& problem,
+                                    const TrmsConfig& config) {
+  auto heuristic = sched::make_immediate(config.heuristic);
+  heuristic->reset();
+  des::Simulator sim;
+  sched::Schedule schedule = sched::Schedule::for_problem(problem);
+  for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+    sim.schedule_at(problem.arrival_time(r), [&, r] {
+      const std::size_t m =
+          heuristic->select_machine(problem, r, sim.now(), schedule);
+      sched::commit_assignment(problem, r, m, sim.now(), schedule);
+    });
+  }
+  sim.run();
+  return finish(problem, std::move(schedule), 0, sim.executed_events());
+}
+
+SimulationResult run_batch_mode(const sched::SchedulingProblem& problem,
+                                const TrmsConfig& config) {
+  GT_REQUIRE(config.batch_interval > 0.0,
+             "batch interval must be positive");
+  auto heuristic = sched::make_batch(config.heuristic);
+  des::Simulator sim;
+  sched::Schedule schedule = sched::Schedule::for_problem(problem);
+
+  std::vector<std::size_t> queue;  // arrived, not yet dispatched
+  std::size_t dispatched = 0;
+  std::size_t batches = 0;
+
+  for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+    sim.schedule_at(problem.arrival_time(r), [&, r] { queue.push_back(r); });
+  }
+
+  // Recurring meta-request formation tick; reschedules itself until every
+  // request has been dispatched.
+  std::function<void()> tick = [&] {
+    if (!queue.empty()) {
+      ++batches;
+      dispatched += queue.size();
+      heuristic->map_batch(problem, queue, sim.now(), schedule);
+      queue.clear();
+    }
+    if (dispatched < problem.num_requests()) {
+      sim.schedule_in(config.batch_interval, tick);
+    }
+  };
+  sim.schedule_in(config.batch_interval, tick);
+
+  sim.run();
+  return finish(problem, std::move(schedule), batches, sim.executed_events());
+}
+
+}  // namespace
+
+SimulationResult run_trms(const sched::SchedulingProblem& problem,
+                          const TrmsConfig& config) {
+  GT_REQUIRE(problem.num_requests() > 0, "nothing to schedule");
+  switch (config.mode) {
+    case SchedulingMode::kImmediate:
+      return run_immediate_mode(problem, config);
+    case SchedulingMode::kBatch:
+      return run_batch_mode(problem, config);
+  }
+  GT_ASSERT(false);
+  return {};
+}
+
+}  // namespace gridtrust::sim

@@ -1,0 +1,83 @@
+// Beta reputation system — a comparison baseline for the paper's Γ model.
+//
+// The era's main alternative to weighted direct-trust/reputation blends was
+// the Beta reputation system (Jøsang & Ismail, 2002): every transaction
+// contributes positive/negative evidence (r, s) about the target, pooled
+// over all observers, with exponential forgetting; the reputation is the
+// expectation of the Beta(r+1, s+1) posterior.
+//
+// Implemented behind the same transaction interface as TrustEngine so the
+// two models can be driven by identical histories.  The comparison the
+// bench draws out: Beta pools all evidence with equal weight, so colluding
+// allies can flood positive evidence — the paper's recommender trust factor
+// R is exactly what it lacks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "trust/transaction.hpp"
+#include "trust/trust_level.hpp"
+
+namespace gridtrust::trust {
+
+/// Configuration of the Beta engine.
+struct BetaReputationConfig {
+  /// Exponential forgetting: evidence decays by 2^(-age/half_life); <= 0
+  /// disables forgetting.
+  double evidence_half_life = 0.0;
+};
+
+/// Pooled-evidence Beta reputation.
+class BetaReputationEngine {
+ public:
+  BetaReputationEngine(BetaReputationConfig config, std::size_t entities,
+                       std::size_t contexts);
+
+  std::size_t entity_count() const { return entities_; }
+  std::size_t context_count() const { return contexts_; }
+
+  /// Folds a transaction: the observed score maps linearly onto evidence,
+  /// score 6 -> fully positive, score 1 -> fully negative.
+  void record_transaction(const Transaction& tx);
+
+  /// Pooled evidence about (target, context) at `now`: (positive, negative)
+  /// after forgetting.  Empty when nothing has been observed.
+  std::optional<std::pair<double, double>> evidence(EntityId target,
+                                                    ContextId context,
+                                                    double now) const;
+
+  /// Beta-expected reputation mapped to the 1..6 trust scale; falls back to
+  /// the neutral prior (3.5 = midpoint) for strangers.
+  double reputation_score(EntityId target, ContextId context,
+                          double now) const;
+
+  /// Quantized offered level (capped at E).
+  TrustLevel offered_level(EntityId target, ContextId context,
+                           double now) const;
+
+  std::uint64_t transaction_count() const { return tx_count_; }
+
+ private:
+  struct Key {
+    EntityId target;
+    ContextId context;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Evidence {
+    double positive = 0.0;
+    double negative = 0.0;
+    double last_time = 0.0;
+  };
+
+  void age(Evidence& e, double now) const;
+
+  BetaReputationConfig config_;
+  std::size_t entities_;
+  std::size_t contexts_;
+  std::map<Key, Evidence> pool_;
+  std::uint64_t tx_count_ = 0;
+};
+
+}  // namespace gridtrust::trust

@@ -1,0 +1,71 @@
+// Trust decay functions Υ(Δt, c) (§2.2).
+//
+// Trust decays with time: a five-year-old observation should weigh less than
+// yesterday's.  Decay functions map the age of the last transaction to a
+// weight in [0, 1].  The paper leaves the functional form open; we provide
+// the standard candidates and let the engine pick one per context.
+#pragma once
+
+#include <memory>
+
+namespace gridtrust::trust {
+
+/// Weight of an observation as a function of its age (seconds).
+/// Implementations must be monotonically non-increasing with value(0) == 1.
+class DecayFunction {
+ public:
+  virtual ~DecayFunction() = default;
+
+  /// Weight in [0, 1] for an observation `age` seconds old (age >= 0).
+  virtual double value(double age) const = 0;
+};
+
+/// No decay: every observation keeps full weight.  Used by the scheduling
+/// simulations, where the trust-level table is an input, and as the neutral
+/// element in ablations.
+class NoDecay final : public DecayFunction {
+ public:
+  double value(double age) const override;
+};
+
+/// Exponential decay with a half-life: value = 2^(-age / half_life).
+class ExponentialDecay final : public DecayFunction {
+ public:
+  explicit ExponentialDecay(double half_life_seconds);
+  double value(double age) const override;
+  double half_life() const { return half_life_; }
+
+ private:
+  double half_life_;
+};
+
+/// Linear decay to zero over a lifetime: value = max(0, 1 - age/lifetime).
+class LinearDecay final : public DecayFunction {
+ public:
+  explicit LinearDecay(double lifetime_seconds);
+  double value(double age) const override;
+
+ private:
+  double lifetime_;
+};
+
+/// Full weight within a freshness window, a fixed residual weight beyond it.
+/// Models systems that age observations in coarse "current vs stale" terms.
+class StepDecay final : public DecayFunction {
+ public:
+  StepDecay(double fresh_window_seconds, double stale_weight);
+  double value(double age) const override;
+
+ private:
+  double window_;
+  double stale_weight_;
+};
+
+/// Convenience factories.
+std::shared_ptr<const DecayFunction> make_no_decay();
+std::shared_ptr<const DecayFunction> make_exponential_decay(double half_life);
+std::shared_ptr<const DecayFunction> make_linear_decay(double lifetime);
+std::shared_ptr<const DecayFunction> make_step_decay(double window,
+                                                     double stale_weight);
+
+}  // namespace gridtrust::trust

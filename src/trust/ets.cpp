@@ -1,0 +1,79 @@
+#include "trust/ets.hpp"
+
+#include "common/error.hpp"
+
+namespace gridtrust::trust {
+
+int trust_cost(TrustLevel required, TrustLevel offered) {
+  const int rtl = to_numeric(required);
+  const int otl = to_numeric(offered);
+  GT_REQUIRE(is_valid_level(rtl), "invalid required trust level");
+  GT_REQUIRE(otl >= to_numeric(kMinTrustLevel) &&
+                 otl <= to_numeric(kMaxOfferedLevel),
+             "offered trust level must be in A..E");
+  if (required == TrustLevel::kF) return kMaxTrustCost;
+  const int gap = rtl - otl;
+  return gap > 0 ? gap : 0;
+}
+
+std::string ets_symbol(TrustLevel required, TrustLevel offered) {
+  if (required == TrustLevel::kF) return "F";
+  const int cost = trust_cost(required, offered);
+  if (cost == 0) return "0";
+  return to_string(required) + " - " + to_string(offered);
+}
+
+double average_trust_cost() {
+  int total = 0;
+  int cells = 0;
+  for (int r = 1; r <= to_numeric(kMaxRequiredLevel); ++r) {
+    for (int o = 1; o <= to_numeric(kMaxOfferedLevel); ++o) {
+      total += trust_cost(level_from_numeric(r), level_from_numeric(o));
+      ++cells;
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(cells);
+}
+
+namespace {
+
+template <typename CellFn>
+TextTable make_ets_table(const char* title, CellFn cell) {
+  std::vector<std::string> headers{"requested TL"};
+  for (int o = 1; o <= to_numeric(kMaxOfferedLevel); ++o) {
+    headers.push_back(to_string(level_from_numeric(o)));
+  }
+  TextTable table(std::move(headers));
+  table.set_title(title);
+  std::vector<Align> aligns(1 + static_cast<std::size_t>(
+                                    to_numeric(kMaxOfferedLevel)),
+                            Align::kCenter);
+  aligns.front() = Align::kLeft;
+  table.set_alignments(std::move(aligns));
+  for (int r = 1; r <= to_numeric(kMaxRequiredLevel); ++r) {
+    std::vector<std::string> row{to_string(level_from_numeric(r))};
+    for (int o = 1; o <= to_numeric(kMaxOfferedLevel); ++o) {
+      row.push_back(cell(level_from_numeric(r), level_from_numeric(o)));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+TextTable ets_symbol_table() {
+  return make_ets_table(
+      "Table 1. Expected trust supplement values (offered TL across).",
+      [](TrustLevel r, TrustLevel o) { return ets_symbol(r, o); });
+}
+
+TextTable ets_numeric_table() {
+  return make_ets_table(
+      "Table 1 (numeric trust costs; offered TL across).",
+      [](TrustLevel r, TrustLevel o) {
+        return std::to_string(trust_cost(r, o));
+      });
+}
+
+}  // namespace gridtrust::trust

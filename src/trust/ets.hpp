@@ -1,0 +1,38 @@
+// Expected trust supplement (ETS) — Table 1 of the paper.
+//
+// When a resource/client pair engages in an activity, the offered trust
+// level (OTL) may fall short of the required trust level (RTL).  The gap
+// must be supplemented with security mechanisms; its magnitude is the trust
+// cost (TC) that drives the expected security cost of a mapping.
+#pragma once
+
+#include "common/table.hpp"
+#include "trust/trust_level.hpp"
+
+namespace gridtrust::trust {
+
+/// Maximum possible trust cost (RTL = F).
+inline constexpr int kMaxTrustCost = 6;
+
+/// Trust cost of serving a request with `offered` trust when `required` is
+/// demanded (Table 1):
+///   - RTL = F always costs 6 (enforced maximal security; Table 1 row F),
+///   - otherwise max(0, RTL - OTL).
+/// `offered` must be in A..E; `required` in A..F.
+int trust_cost(TrustLevel required, TrustLevel offered);
+
+/// Expected trust supplement as a level-difference string in the paper's
+/// notation: "0", "C - A", or "F" for the forced row.
+std::string ets_symbol(TrustLevel required, TrustLevel offered);
+
+/// Average trust cost over all (RTL, OTL) pairs drawn uniformly from
+/// [A..F] x [A..E]; the paper quotes 3 as "the average TC value".
+double average_trust_cost();
+
+/// Renders Table 1 with symbolic entries (exactly the paper's layout).
+TextTable ets_symbol_table();
+
+/// Renders Table 1 with the numeric TC values used by the scheduler.
+TextTable ets_numeric_table();
+
+}  // namespace gridtrust::trust

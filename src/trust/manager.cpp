@@ -1,0 +1,67 @@
+#include "trust/manager.hpp"
+
+#include "common/error.hpp"
+
+namespace gridtrust::trust {
+
+TrustManager::TrustManager(TrustManagerConfig config,
+                           std::size_t client_domains,
+                           std::size_t resource_domains,
+                           std::size_t activities)
+    : config_(config),
+      bridge_(config.engine, client_domains, resource_domains, activities,
+              config.min_transactions),
+      table_(client_domains, resource_domains, activities) {
+  GT_REQUIRE(config.refresh_interval > 0.0,
+             "refresh interval must be positive");
+}
+
+void TrustManager::observe_client_side(std::size_t cd, std::size_t rd,
+                                       std::size_t activity, double time,
+                                       double score) {
+  bridge_.observe_client_side(cd, rd, activity, time, score);
+}
+
+void TrustManager::observe_resource_side(std::size_t rd, std::size_t cd,
+                                         std::size_t activity, double time,
+                                         double score) {
+  bridge_.observe_resource_side(rd, cd, activity, time, score);
+}
+
+std::size_t TrustManager::maintain(double now) {
+  ++stats_.ticks;
+  if (config_.prune_horizon > 0.0 && now > config_.prune_horizon) {
+    stats_.pruned_records +=
+        bridge_.engine().prune(now - config_.prune_horizon);
+  }
+  const std::size_t updates = bridge_.refresh(table_, now);
+  stats_.table_updates += updates;
+  return updates;
+}
+
+void TrustManager::attach(des::Simulator& sim) {
+  // Self-rescheduling maintenance tick; the manager and simulator must
+  // outlive the simulation run.
+  sim.schedule_in(config_.refresh_interval, [this, &sim] {
+    maintain(sim.now());
+    attach(sim);
+  });
+}
+
+void TrustManager::save(std::ostream& table_out,
+                        std::ostream& engine_out) const {
+  save_table(table_, table_out);
+  save_engine(bridge_.engine(), engine_out);
+}
+
+void TrustManager::load(std::istream& table_in, std::istream& engine_in) {
+  const TrustLevelTable restored = load_table(table_in);
+  GT_REQUIRE(restored.client_domains() == table_.client_domains() &&
+                 restored.resource_domains() == table_.resource_domains() &&
+                 restored.activities() == table_.activities(),
+             "saved table does not match this manager's dimensions");
+  load_engine(bridge_.engine(), engine_in);
+  table_ = restored;
+}
+
+}  // namespace gridtrust::trust

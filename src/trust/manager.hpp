@@ -1,0 +1,91 @@
+// The trust management architecture of §2.2, packaged as a deployable
+// component.
+//
+// The paper: "Currently, we are developing a trust management architecture
+// that can evolve and maintain the trust values based on the concepts
+// explained above."  TrustManager is that component: it owns the Fig. 1
+// bridge (agents + Γ engine) and the central trust-level table, runs
+// periodic maintenance on a DES clock (table refresh from accumulated
+// transactions, pruning of records older than a horizon), and persists its
+// state through the serialization formats.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "des/simulator.hpp"
+#include "trust/agents.hpp"
+#include "trust/serialization.hpp"
+#include "trust/trust_table.hpp"
+
+namespace gridtrust::trust {
+
+/// Maintenance policy of a TrustManager.
+struct TrustManagerConfig {
+  /// Period of the maintenance tick (seconds of simulation time).
+  double refresh_interval = 100.0;
+  /// Records whose last transaction is older than this horizon are pruned
+  /// at each tick; <= 0 disables pruning.
+  double prune_horizon = 0.0;
+  /// Observations required before an agent may update a table entry.
+  std::uint64_t min_transactions = 3;
+  /// Γ engine tuning.
+  TrustEngineConfig engine;
+};
+
+/// Counters exposed for monitoring.
+struct TrustManagerStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t table_updates = 0;
+  std::uint64_t pruned_records = 0;
+};
+
+/// Owns the table and the agents; drive it either by attaching to a
+/// simulator (periodic ticks) or by calling maintain() manually.
+class TrustManager {
+ public:
+  TrustManager(TrustManagerConfig config, std::size_t client_domains,
+               std::size_t resource_domains, std::size_t activities);
+
+  /// The central trust-level table (Fig. 1).  Read-only: the manager's
+  /// maintenance is the only writer.
+  const TrustLevelTable& table() const { return table_; }
+
+  /// The underlying bridge/engine, for alliance wiring and inspection.
+  DomainTrustBridge& bridge() { return bridge_; }
+  const DomainTrustBridge& bridge() const { return bridge_; }
+
+  const TrustManagerConfig& config() const { return config_; }
+  const TrustManagerStats& stats() const { return stats_; }
+
+  /// Agent observation paths (forwarded to the bridge).
+  void observe_client_side(std::size_t cd, std::size_t rd,
+                           std::size_t activity, double time, double score);
+  void observe_resource_side(std::size_t rd, std::size_t cd,
+                             std::size_t activity, double time, double score);
+
+  /// One maintenance pass at time `now`: prune stale records (if enabled),
+  /// then refresh the table.  Returns the number of table entries updated.
+  std::size_t maintain(double now);
+
+  /// Schedules recurring maintenance on `sim` every refresh_interval,
+  /// starting one interval from now, for as long as the simulator runs
+  /// (self-rescheduling; stop by resetting the simulator).  The simulator
+  /// must outlive this manager's use.
+  void attach(des::Simulator& sim);
+
+  /// Persists the table and the engine's direct-trust records.
+  void save(std::ostream& table_out, std::ostream& engine_out) const;
+
+  /// Restores state saved by save() into a freshly constructed manager of
+  /// identical dimensions.
+  void load(std::istream& table_in, std::istream& engine_in);
+
+ private:
+  TrustManagerConfig config_;
+  DomainTrustBridge bridge_;
+  TrustLevelTable table_;
+  TrustManagerStats stats_;
+};
+
+}  // namespace gridtrust::trust

@@ -1,0 +1,54 @@
+#include "trust/report.hpp"
+
+#include "common/error.hpp"
+
+namespace gridtrust::trust {
+
+namespace {
+
+TextTable skeleton(const TrustLevelTable& table, const std::string& title) {
+  std::vector<std::string> headers{"CD \\ RD"};
+  for (std::size_t rd = 0; rd < table.resource_domains(); ++rd) {
+    headers.push_back("rd" + std::to_string(rd));
+  }
+  TextTable out(std::move(headers));
+  out.set_title(title);
+  std::vector<Align> aligns(table.resource_domains() + 1, Align::kCenter);
+  aligns.front() = Align::kLeft;
+  out.set_alignments(std::move(aligns));
+  return out;
+}
+
+}  // namespace
+
+TextTable render_table(const TrustLevelTable& table, std::size_t activity) {
+  GT_REQUIRE(activity < table.activities(), "activity index out of range");
+  TextTable out = skeleton(
+      table, "Trust levels, activity " + std::to_string(activity));
+  for (std::size_t cd = 0; cd < table.client_domains(); ++cd) {
+    std::vector<std::string> row{"cd" + std::to_string(cd)};
+    for (std::size_t rd = 0; rd < table.resource_domains(); ++rd) {
+      row.push_back(to_string(table.get(cd, rd, activity)));
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+TextTable render_table_summary(const TrustLevelTable& table) {
+  TextTable out = skeleton(table, "Trust levels (min over all activities)");
+  for (std::size_t cd = 0; cd < table.client_domains(); ++cd) {
+    std::vector<std::string> row{"cd" + std::to_string(cd)};
+    for (std::size_t rd = 0; rd < table.resource_domains(); ++rd) {
+      TrustLevel level = kMaxOfferedLevel;
+      for (std::size_t act = 0; act < table.activities(); ++act) {
+        level = min_level(level, table.get(cd, rd, act));
+      }
+      row.push_back(to_string(level));
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace gridtrust::trust

@@ -1,0 +1,17 @@
+// Human-readable views of the trust-level table.
+#pragma once
+
+#include "common/table.hpp"
+#include "trust/trust_table.hpp"
+
+namespace gridtrust::trust {
+
+/// Renders the CD x RD slice of the table for one activity: one row per
+/// client domain, one column per resource domain.
+TextTable render_table(const TrustLevelTable& table, std::size_t activity);
+
+/// Renders the conservative pair view: per (CD, RD), the *minimum* level
+/// across all activities (the OTL a request needing every ToA would see).
+TextTable render_table_summary(const TrustLevelTable& table);
+
+}  // namespace gridtrust::trust

@@ -1,0 +1,121 @@
+#include "trust/serialization.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gridtrust::trust {
+
+namespace {
+
+constexpr const char* kTableHeader = "gridtrust-trust-table v1";
+constexpr const char* kEngineHeader = "gridtrust-trust-engine v1";
+
+std::string next_line(std::istream& is, const char* what) {
+  std::string line;
+  while (std::getline(is, line)) {
+    // Skip blank lines and comments.
+    if (line.empty() || line[0] == '#') continue;
+    return line;
+  }
+  GT_REQUIRE(false, std::string("unexpected end of input reading ") + what);
+  return {};
+}
+
+}  // namespace
+
+void save_table(const TrustLevelTable& table, std::ostream& os) {
+  os << kTableHeader << "\n"
+     << "dims " << table.client_domains() << " " << table.resource_domains()
+     << " " << table.activities() << "\n";
+  for (std::size_t cd = 0; cd < table.client_domains(); ++cd) {
+    for (std::size_t rd = 0; rd < table.resource_domains(); ++rd) {
+      os << "row " << cd << " " << rd << " ";
+      for (std::size_t act = 0; act < table.activities(); ++act) {
+        os << to_string(table.get(cd, rd, act));
+      }
+      os << "\n";
+    }
+  }
+}
+
+TrustLevelTable load_table(std::istream& is) {
+  GT_REQUIRE(next_line(is, "header") == kTableHeader,
+             "not a gridtrust trust-table file (bad header)");
+  std::istringstream dims(next_line(is, "dims"));
+  std::string tag;
+  std::size_t n_cd = 0;
+  std::size_t n_rd = 0;
+  std::size_t n_act = 0;
+  dims >> tag >> n_cd >> n_rd >> n_act;
+  GT_REQUIRE(!dims.fail() && tag == "dims", "malformed dims line");
+  TrustLevelTable table(n_cd, n_rd, n_act);
+  for (std::size_t i = 0; i < n_cd * n_rd; ++i) {
+    std::istringstream row(next_line(is, "row"));
+    std::size_t cd = 0;
+    std::size_t rd = 0;
+    std::string levels;
+    row >> tag >> cd >> rd >> levels;
+    GT_REQUIRE(!row.fail() && tag == "row", "malformed row line");
+    GT_REQUIRE(cd < n_cd && rd < n_rd, "row indices out of range");
+    GT_REQUIRE(levels.size() == n_act,
+               "row has the wrong number of activity levels");
+    for (std::size_t act = 0; act < n_act; ++act) {
+      table.set(cd, rd, act, level_from_string(std::string(1, levels[act])));
+    }
+  }
+  return table;
+}
+
+std::string table_to_string(const TrustLevelTable& table) {
+  std::ostringstream os;
+  save_table(table, os);
+  return os.str();
+}
+
+TrustLevelTable table_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_table(is);
+}
+
+void save_engine(const TrustEngine& engine, std::ostream& os) {
+  os << kEngineHeader << "\n"
+     << "dims " << engine.entity_count() << " " << engine.context_count()
+     << "\n";
+  // Full precision: trust levels are doubles and round-tripping must be
+  // exact for replay determinism.
+  os.precision(17);
+  for (const TrustEngine::Entry& entry : engine.export_records()) {
+    os << "rec " << entry.truster << " " << entry.trustee << " "
+       << entry.context << " " << entry.record.level << " "
+       << entry.record.last_time << " " << entry.record.count << "\n";
+  }
+}
+
+void load_engine(TrustEngine& engine, std::istream& is) {
+  GT_REQUIRE(next_line(is, "header") == kEngineHeader,
+             "not a gridtrust trust-engine file (bad header)");
+  std::istringstream dims(next_line(is, "dims"));
+  std::string tag;
+  std::size_t entities = 0;
+  std::size_t contexts = 0;
+  dims >> tag >> entities >> contexts;
+  GT_REQUIRE(!dims.fail() && tag == "dims", "malformed dims line");
+  GT_REQUIRE(entities <= engine.entity_count() &&
+                 contexts <= engine.context_count(),
+             "engine is too small for the saved state");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream rec(line);
+    TrustEngine::Entry entry;
+    rec >> tag >> entry.truster >> entry.trustee >> entry.context >>
+        entry.record.level >> entry.record.last_time >> entry.record.count;
+    GT_REQUIRE(!rec.fail() && tag == "rec", "malformed rec line");
+    engine.import_record(entry);
+  }
+}
+
+}  // namespace gridtrust::trust

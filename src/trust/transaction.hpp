@@ -1,0 +1,27 @@
+// Transaction records feeding the trust management engine (§2.2).
+#pragma once
+
+#include <cstdint>
+
+namespace gridtrust::trust {
+
+/// An entity participating in trust relationships (a client domain, a
+/// resource domain, or any other principal the engine tracks).
+using EntityId = std::uint32_t;
+
+/// A trust context ("type of activity" in the Grid model: printing, storing
+/// data, executing code, ...).
+using ContextId = std::uint32_t;
+
+/// One completed interaction: `truster` observed `trustee` behaving at
+/// `observed_score` (continuous trust scale, 1 = very untrustworthy conduct,
+/// 6 = flawless conduct) in `context` at simulation time `time`.
+struct Transaction {
+  EntityId truster = 0;
+  EntityId trustee = 0;
+  ContextId context = 0;
+  double time = 0.0;
+  double observed_score = 1.0;
+};
+
+}  // namespace gridtrust::trust

@@ -1,0 +1,230 @@
+#include "trust/trust_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridtrust::trust {
+
+TrustEngine::TrustEngine(TrustEngineConfig config, std::size_t entities,
+                         std::size_t contexts)
+    : config_(std::move(config)),
+      entities_(entities),
+      contexts_(contexts),
+      alliances_(entities),
+      learned_weight_(entities, std::vector<double>(entities, 1.0)) {
+  GT_REQUIRE(entities > 0, "need at least one entity");
+  GT_REQUIRE(contexts > 0, "need at least one context");
+  GT_REQUIRE(config_.alpha >= 0.0 && config_.beta >= 0.0,
+             "Γ weights must be non-negative");
+  GT_REQUIRE(config_.alpha + config_.beta > 0.0,
+             "at least one Γ weight must be positive");
+  GT_REQUIRE(config_.learning_rate > 0.0 && config_.learning_rate <= 1.0,
+             "learning rate must be in (0, 1]");
+  GT_REQUIRE(config_.alliance_discount >= 0.0 &&
+                 config_.alliance_discount <= 1.0,
+             "alliance discount must be in [0, 1]");
+  GT_REQUIRE(config_.independent_weight >= 0.0 &&
+                 config_.independent_weight <= 1.0,
+             "independent weight must be in [0, 1]");
+  GT_REQUIRE(config_.recommender_learning_rate > 0.0 &&
+                 config_.recommender_learning_rate <= 1.0,
+             "recommender learning rate must be in (0, 1]");
+  // Normalize the Γ weights once so evaluation is a plain blend.
+  const double total = config_.alpha + config_.beta;
+  config_.alpha /= total;
+  config_.beta /= total;
+  if (!config_.decay) config_.decay = make_no_decay();
+  for (const auto& [context, fn] : config_.context_decay) {
+    GT_REQUIRE(static_cast<std::size_t>(context) < contexts,
+               "context decay override for an unknown context");
+    GT_REQUIRE(fn != nullptr, "context decay override must not be null");
+  }
+}
+
+void TrustEngine::check_entity(EntityId id) const {
+  GT_REQUIRE(id < entities_, "entity id out of range");
+}
+
+void TrustEngine::check_context(ContextId id) const {
+  GT_REQUIRE(id < contexts_, "context id out of range");
+}
+
+const DecayFunction& TrustEngine::decay_for(ContextId context) const {
+  const auto it = config_.context_decay.find(context);
+  return it != config_.context_decay.end() ? *it->second : *config_.decay;
+}
+
+double TrustEngine::decayed(double level, double age, ContextId context) const {
+  return level * decay_for(context).value(age);
+}
+
+void TrustEngine::record_transaction(const Transaction& tx) {
+  check_entity(tx.truster);
+  check_entity(tx.trustee);
+  check_context(tx.context);
+  GT_REQUIRE(tx.truster != tx.trustee,
+             "an entity cannot record trust in itself");
+  GT_REQUIRE(tx.observed_score >= 1.0 && tx.observed_score <= 6.0,
+             "observed score must be on the [1, 6] trust scale");
+
+  if (config_.learn_recommender_weights) learn_recommenders(tx);
+
+  DirectTrustRecord& rec =
+      direct_[TripleKey{tx.truster, tx.trustee, tx.context}];
+  GT_REQUIRE(rec.count == 0 || tx.time >= rec.last_time,
+             "transactions must arrive in non-decreasing time order");
+  if (rec.count == 0) {
+    rec.level = tx.observed_score;
+  } else {
+    // The stored level first decays to the current time, then blends with
+    // the fresh observation (EWMA).
+    const double aged = decayed(rec.level, tx.time - rec.last_time, tx.context);
+    rec.level = (1.0 - config_.learning_rate) * aged +
+                config_.learning_rate * tx.observed_score;
+  }
+  rec.last_time = tx.time;
+  ++rec.count;
+  ++tx_count_;
+}
+
+std::optional<DirectTrustRecord> TrustEngine::direct_record(
+    EntityId truster, EntityId trustee, ContextId context) const {
+  check_entity(truster);
+  check_entity(trustee);
+  check_context(context);
+  const auto it = direct_.find(TripleKey{truster, trustee, context});
+  if (it == direct_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> TrustEngine::direct_trust(EntityId truster,
+                                                EntityId trustee,
+                                                ContextId context,
+                                                double now) const {
+  const auto rec = direct_record(truster, trustee, context);
+  if (!rec) return std::nullopt;
+  GT_REQUIRE(now >= rec->last_time, "query time precedes last transaction");
+  return decayed(rec->level, now - rec->last_time, context);
+}
+
+std::optional<double> TrustEngine::reputation(EntityId evaluator,
+                                              EntityId target,
+                                              ContextId context,
+                                              double now) const {
+  check_entity(evaluator);
+  check_entity(target);
+  check_context(context);
+  // Scan every recommender z != evaluator with a record about target.  The
+  // triple keys are ordered (truster, trustee, context), so we walk the map
+  // range-free; entity counts in this model are small (domains, not users).
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (EntityId z = 0; z < entities_; ++z) {
+    if (z == evaluator || z == target) continue;
+    const auto it = direct_.find(TripleKey{z, target, context});
+    if (it == direct_.end()) continue;
+    const DirectTrustRecord& rec = it->second;
+    GT_REQUIRE(now >= rec.last_time, "query time precedes last transaction");
+    sum += decayed(rec.level, now - rec.last_time, context) *
+           recommender_factor(evaluator, z, target);
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+double TrustEngine::eventual_trust(EntityId truster, EntityId trustee,
+                                   ContextId context, double now) const {
+  const auto theta = direct_trust(truster, trustee, context, now);
+  const auto omega = reputation(truster, trustee, context, now);
+  if (theta && omega) return config_.alpha * *theta + config_.beta * *omega;
+  if (theta) return *theta;
+  if (omega) return *omega;
+  return config_.default_score;
+}
+
+TrustLevel TrustEngine::eventual_offered_level(EntityId truster,
+                                               EntityId trustee,
+                                               ContextId context,
+                                               double now) const {
+  const TrustLevel level =
+      quantize_level(eventual_trust(truster, trustee, context, now));
+  return min_level(level, kMaxOfferedLevel);
+}
+
+double TrustEngine::recommender_factor(EntityId evaluator,
+                                       EntityId recommender,
+                                       EntityId target) const {
+  check_entity(evaluator);
+  check_entity(recommender);
+  check_entity(target);
+  const double base = alliances_.allied(recommender, target)
+                          ? config_.alliance_discount
+                          : config_.independent_weight;
+  if (!config_.learn_recommender_weights) return base;
+  return base * learned_weight_[evaluator][recommender];
+}
+
+std::vector<TrustEngine::Entry> TrustEngine::export_records() const {
+  std::vector<Entry> out;
+  out.reserve(direct_.size());
+  for (const auto& [key, record] : direct_) {
+    out.push_back(Entry{key.truster, key.trustee, key.context, record});
+  }
+  return out;
+}
+
+void TrustEngine::import_record(const Entry& entry) {
+  check_entity(entry.truster);
+  check_entity(entry.trustee);
+  check_context(entry.context);
+  GT_REQUIRE(entry.truster != entry.trustee,
+             "an entity cannot hold trust in itself");
+  GT_REQUIRE(entry.record.count >= 1, "imported records need observations");
+  GT_REQUIRE(entry.record.level >= 0.0 && entry.record.level <= 6.0,
+             "imported trust level out of range");
+  GT_REQUIRE(entry.record.last_time >= 0.0,
+             "imported record has a negative timestamp");
+  const TripleKey key{entry.truster, entry.trustee, entry.context};
+  GT_REQUIRE(!direct_.count(key),
+             "triple already holds data; refusing to overwrite");
+  direct_[key] = entry.record;
+  tx_count_ += entry.record.count;
+}
+
+std::size_t TrustEngine::prune(double before) {
+  std::size_t removed = 0;
+  for (auto it = direct_.begin(); it != direct_.end();) {
+    if (it->second.last_time < before) {
+      it = direct_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void TrustEngine::learn_recommenders(const Transaction& tx) {
+  // The evaluator just observed tx.observed_score first-hand.  Compare every
+  // third party's stored opinion of the trustee against this ground truth
+  // and move the evaluator's reliability weight for that recommender toward
+  // 1 - normalized error.  A colluder that praises a misbehaving ally (or
+  // badmouths a competitor) accumulates error and loses influence.
+  constexpr double kScaleSpan = 5.0;  // |6 - 1|
+  std::vector<double>& weights = learned_weight_[tx.truster];
+  for (EntityId z = 0; z < entities_; ++z) {
+    if (z == tx.truster || z == tx.trustee) continue;
+    const auto it = direct_.find(TripleKey{z, tx.trustee, tx.context});
+    if (it == direct_.end()) continue;
+    const double error =
+        std::abs(it->second.level - tx.observed_score) / kScaleSpan;
+    const double target_weight = 1.0 - error;
+    weights[z] += config_.recommender_learning_rate * (target_weight - weights[z]);
+    weights[z] = std::clamp(weights[z], 0.0, 1.0);
+  }
+}
+
+}  // namespace gridtrust::trust

@@ -1,0 +1,168 @@
+// The trust management engine of §2.2.
+//
+// Maintains, per (truster, trustee, context), a direct-trust record built
+// from transaction outcomes, and computes
+//
+//   Γ(x, y, t, c) = α·Θ(x, y, t, c) + β·Ω(y, t, c)
+//   Θ(x, y, t, c) = DTT(x, y, c) · Υ(t - t_xy, c)
+//   Ω(y, t, c)    = avg over z != x of RTT(z, y, c) · R(z, y) · Υ(t - t_zy, c)
+//
+// with RTT and DTT referring to the same table (as the paper assumes for
+// practical systems).  The recommender trust factor R guards against
+// collusion: it is discounted when the recommender is allied with the target,
+// and optionally refined online by comparing recommendations with the
+// evaluator's own later observations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "trust/alliance.hpp"
+#include "trust/decay.hpp"
+#include "trust/transaction.hpp"
+#include "trust/trust_level.hpp"
+
+namespace gridtrust::trust {
+
+/// Tuning knobs for the engine.  Defaults follow the paper's narrative:
+/// direct experience outweighs reputation (α > β).
+struct TrustEngineConfig {
+  /// Weight of direct trust in Γ.  α and β are normalized internally, so
+  /// only their ratio matters.  Both must be >= 0 with α + β > 0.
+  double alpha = 0.6;
+  /// Weight of reputation in Γ.
+  double beta = 0.4;
+  /// EWMA learning rate blending a new observation into the stored
+  /// direct-trust level (0 < rate <= 1; 1 = keep only the latest).
+  double learning_rate = 0.3;
+  /// R(z, y) when z and y are allied (must be in [0, 1]).  1 would disable
+  /// collusion protection.
+  double alliance_discount = 0.3;
+  /// R(z, y) when z and y are not allied (must be in [0, 1]).
+  double independent_weight = 1.0;
+  /// When true, each evaluator also learns a per-recommender reliability
+  /// weight from recommendation-vs-experience mismatches (an extension the
+  /// paper lists as future work: "R ... is learned based on actual
+  /// outcomes").
+  bool learn_recommender_weights = false;
+  /// Learning rate for the per-recommender weights.
+  double recommender_learning_rate = 0.2;
+  /// Γ for a complete stranger (no direct data, no reputation data).
+  double default_score = static_cast<double>(to_numeric(TrustLevel::kA));
+  /// Decay function Υ; defaults to no decay (trust is slow-varying, §3.1).
+  std::shared_ptr<const DecayFunction> decay;
+  /// Per-context decay overrides — the paper's Υ(t - t_xy, c) is context
+  /// dependent (storage trust may age slower than execution trust).
+  /// Contexts absent from the map use `decay`.
+  std::map<ContextId, std::shared_ptr<const DecayFunction>> context_decay;
+};
+
+/// One direct-trust record: the DTT/RTT entry for (truster, trustee, context).
+struct DirectTrustRecord {
+  double level = 0.0;        ///< continuous trust level in [1, 6]
+  double last_time = 0.0;    ///< time of the most recent transaction
+  std::uint64_t count = 0;   ///< number of transactions folded in
+};
+
+/// The trust management engine.
+class TrustEngine {
+ public:
+  /// Creates an engine over a fixed entity population and context set.
+  TrustEngine(TrustEngineConfig config, std::size_t entities,
+              std::size_t contexts);
+
+  std::size_t entity_count() const { return entities_; }
+  std::size_t context_count() const { return contexts_; }
+  const TrustEngineConfig& config() const { return config_; }
+
+  /// Mutable alliance structure (collusion modelling).
+  AllianceGraph& alliances() { return alliances_; }
+  const AllianceGraph& alliances() const { return alliances_; }
+
+  /// Folds a completed transaction into the direct-trust table.  Times must
+  /// be non-decreasing per (truster, trustee, context) pair.
+  void record_transaction(const Transaction& tx);
+
+  /// The raw DTT record, if any transactions exist for the triple.
+  std::optional<DirectTrustRecord> direct_record(EntityId truster,
+                                                 EntityId trustee,
+                                                 ContextId context) const;
+
+  /// Θ(x, y, t, c); empty when x has no direct experience with y in c.
+  std::optional<double> direct_trust(EntityId truster, EntityId trustee,
+                                     ContextId context, double now) const;
+
+  /// Ω(y, t, c) from the perspective of `evaluator` (whose own records are
+  /// excluded); empty when no third party has experience with y in c.
+  std::optional<double> reputation(EntityId evaluator, EntityId target,
+                                   ContextId context, double now) const;
+
+  /// Γ(x, y, t, c).  When one component is unavailable the other takes full
+  /// weight; a total stranger gets config().default_score.
+  double eventual_trust(EntityId truster, EntityId trustee, ContextId context,
+                        double now) const;
+
+  /// Γ quantized to a discrete level (and capped at E, since an offered
+  /// level can never be F).
+  TrustLevel eventual_offered_level(EntityId truster, EntityId trustee,
+                                    ContextId context, double now) const;
+
+  /// The recommender trust factor R(z, y) as seen by `evaluator`:
+  /// alliance-based base weight times the evaluator's learned reliability
+  /// weight for z (1 until learning kicks in).
+  double recommender_factor(EntityId evaluator, EntityId recommender,
+                            EntityId target) const;
+
+  /// Total transactions recorded.
+  std::uint64_t transaction_count() const { return tx_count_; }
+
+  /// One (truster, trustee, context) entry of the direct-trust table.
+  struct Entry {
+    EntityId truster = 0;
+    EntityId trustee = 0;
+    ContextId context = 0;
+    DirectTrustRecord record;
+  };
+
+  /// All direct-trust records in key order (persistence, inspection).
+  std::vector<Entry> export_records() const;
+
+  /// Installs a previously exported record.  The triple must be in range,
+  /// self-trust is rejected, and the triple must not already hold data.
+  void import_record(const Entry& entry);
+
+  /// Drops every record whose last transaction is older than `before`
+  /// (capacity management for long-lived deployments: decayed records stop
+  /// contributing anyway).  Returns the number of records removed.  The
+  /// transaction counter is not rewound — it counts history, not storage.
+  std::size_t prune(double before);
+
+ private:
+  struct TripleKey {
+    EntityId truster;
+    EntityId trustee;
+    ContextId context;
+    auto operator<=>(const TripleKey&) const = default;
+  };
+
+  void check_entity(EntityId id) const;
+  void check_context(ContextId id) const;
+  const DecayFunction& decay_for(ContextId context) const;
+  double decayed(double level, double age, ContextId context) const;
+  /// Updates evaluator-side recommender weights given a fresh first-hand
+  /// observation that can be compared against outstanding recommendations.
+  void learn_recommenders(const Transaction& tx);
+
+  TrustEngineConfig config_;
+  std::size_t entities_;
+  std::size_t contexts_;
+  AllianceGraph alliances_;
+  std::map<TripleKey, DirectTrustRecord> direct_;
+  // learned_weight_[x][z]: x's reliability weight for recommender z.
+  std::vector<std::vector<double>> learned_weight_;
+  std::uint64_t tx_count_ = 0;
+};
+
+}  // namespace gridtrust::trust

@@ -1,0 +1,65 @@
+#include "trust/trust_table.hpp"
+
+#include "common/error.hpp"
+
+namespace gridtrust::trust {
+
+TrustLevelTable::TrustLevelTable(std::size_t client_domains,
+                                 std::size_t resource_domains,
+                                 std::size_t activities)
+    : n_cd_(client_domains),
+      n_rd_(resource_domains),
+      n_act_(activities),
+      levels_(client_domains * resource_domains * activities,
+              kMinTrustLevel) {
+  GT_REQUIRE(client_domains > 0, "need at least one client domain");
+  GT_REQUIRE(resource_domains > 0, "need at least one resource domain");
+  GT_REQUIRE(activities > 0, "need at least one activity type");
+}
+
+std::size_t TrustLevelTable::offset(std::size_t cd, std::size_t rd,
+                                    std::size_t activity) const {
+  GT_REQUIRE(cd < n_cd_, "client domain index out of range");
+  GT_REQUIRE(rd < n_rd_, "resource domain index out of range");
+  GT_REQUIRE(activity < n_act_, "activity index out of range");
+  return (cd * n_rd_ + rd) * n_act_ + activity;
+}
+
+TrustLevel TrustLevelTable::get(std::size_t cd, std::size_t rd,
+                                std::size_t activity) const {
+  return levels_[offset(cd, rd, activity)];
+}
+
+void TrustLevelTable::set(std::size_t cd, std::size_t rd, std::size_t activity,
+                          TrustLevel level) {
+  GT_REQUIRE(to_numeric(level) <= to_numeric(kMaxOfferedLevel),
+             "offered trust levels are capped at E");
+  TrustLevel& slot = levels_[offset(cd, rd, activity)];
+  if (slot != level) {
+    slot = level;
+    ++version_;
+  }
+}
+
+TrustLevel TrustLevelTable::offered_trust_level(
+    std::size_t cd, std::size_t rd,
+    std::span<const std::size_t> activities) const {
+  GT_REQUIRE(!activities.empty(),
+             "a composite activity needs at least one ToA");
+  TrustLevel otl = kMaxOfferedLevel;
+  for (const std::size_t act : activities) {
+    otl = min_level(otl, get(cd, rd, act));
+  }
+  return otl;
+}
+
+void TrustLevelTable::randomize(Rng& rng) {
+  for (TrustLevel& level : levels_) {
+    level = level_from_numeric(static_cast<int>(
+        rng.uniform_int(to_numeric(kMinTrustLevel),
+                        to_numeric(kMaxOfferedLevel))));
+  }
+  ++version_;
+}
+
+}  // namespace gridtrust::trust

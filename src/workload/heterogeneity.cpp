@@ -1,0 +1,125 @@
+#include "workload/heterogeneity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace gridtrust::workload {
+
+HeterogeneityParams consistent_lolo() {
+  HeterogeneityParams p;
+  p.consistency = Consistency::kConsistent;
+  p.task = Heterogeneity::kLow;
+  p.machine = Heterogeneity::kLow;
+  return p;
+}
+
+HeterogeneityParams inconsistent_lolo() {
+  HeterogeneityParams p;
+  p.consistency = Consistency::kInconsistent;
+  p.task = Heterogeneity::kLow;
+  p.machine = Heterogeneity::kLow;
+  return p;
+}
+
+std::string to_string(const HeterogeneityParams& params) {
+  std::string s;
+  switch (params.consistency) {
+    case Consistency::kConsistent:
+      s = "consistent ";
+      break;
+    case Consistency::kInconsistent:
+      s = "inconsistent ";
+      break;
+    case Consistency::kSemiConsistent:
+      s = "semi-consistent ";
+      break;
+  }
+  s += params.task == Heterogeneity::kLow ? "Lo" : "Hi";
+  s += params.machine == Heterogeneity::kLow ? "Lo" : "Hi";
+  return s;
+}
+
+sched::CostMatrix generate_eec(std::size_t tasks, std::size_t machines,
+                               const HeterogeneityParams& params, Rng& rng) {
+  GT_REQUIRE(tasks > 0 && machines > 0, "need at least one task and machine");
+  GT_REQUIRE(params.task_range() > 1.0 && params.machine_range() > 1.0,
+             "heterogeneity ranges must exceed 1");
+  sched::CostMatrix eec(tasks, machines);
+  std::vector<double> row(machines);
+  for (std::size_t r = 0; r < tasks; ++r) {
+    const double tau = rng.uniform(1.0, params.task_range());
+    for (std::size_t m = 0; m < machines; ++m) {
+      row[m] = tau * rng.uniform(1.0, params.machine_range());
+    }
+    switch (params.consistency) {
+      case Consistency::kConsistent:
+        std::sort(row.begin(), row.end());
+        break;
+      case Consistency::kSemiConsistent: {
+        // Sort the values sitting at even machine indices among themselves.
+        std::vector<double> evens;
+        for (std::size_t m = 0; m < machines; m += 2) evens.push_back(row[m]);
+        std::sort(evens.begin(), evens.end());
+        for (std::size_t i = 0, m = 0; m < machines; m += 2, ++i) {
+          row[m] = evens[i];
+        }
+        break;
+      }
+      case Consistency::kInconsistent:
+        break;
+    }
+    for (std::size_t m = 0; m < machines; ++m) eec.at(r, m) = row[m];
+  }
+  return eec;
+}
+
+namespace {
+
+double coefficient_of_variation(const RunningStats& s) {
+  return s.mean() > 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+}  // namespace
+
+MeasuredHeterogeneity measure_heterogeneity(const sched::CostMatrix& eec) {
+  MeasuredHeterogeneity out;
+  RunningStats row_cv;
+  for (std::size_t r = 0; r < eec.rows(); ++r) {
+    RunningStats s;
+    for (std::size_t m = 0; m < eec.cols(); ++m) s.add(eec.get(r, m));
+    row_cv.add(coefficient_of_variation(s));
+  }
+  RunningStats col_cv;
+  for (std::size_t m = 0; m < eec.cols(); ++m) {
+    RunningStats s;
+    for (std::size_t r = 0; r < eec.rows(); ++r) s.add(eec.get(r, m));
+    col_cv.add(coefficient_of_variation(s));
+  }
+  out.machine_cv = row_cv.mean();
+  out.task_cv = col_cv.mean();
+  return out;
+}
+
+double consistency_index(const sched::CostMatrix& eec) {
+  if (eec.cols() < 2 || eec.rows() < 2) return 1.0;
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t a = 0; a < eec.cols(); ++a) {
+    for (std::size_t b = a + 1; b < eec.cols(); ++b) {
+      // Does machine a beat machine b for every task, or vice versa?
+      std::size_t a_wins = 0;
+      for (std::size_t r = 0; r < eec.rows(); ++r) {
+        if (eec.get(r, a) <= eec.get(r, b)) ++a_wins;
+      }
+      if (a_wins == eec.rows() || a_wins == 0) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace gridtrust::workload

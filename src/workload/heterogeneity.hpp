@@ -1,0 +1,76 @@
+// Heterogeneous EEC matrix generation (§5.3).
+//
+// The paper characterizes ECC matrices by task heterogeneity (variation
+// along columns), machine heterogeneity (variation along rows), and
+// consistency (whether machine speed ordering is task-independent).  We use
+// the classic range-based generation of Maheswaran et al. [10]:
+//
+//   eec(r, m) = tau_r * u(r, m),  tau_r ~ U[1, phi_task),
+//                                 u(r, m) ~ U[1, phi_machine)
+//
+// A consistent matrix sorts each row so machine 0 is fastest for every task;
+// a semi-consistent matrix sorts only the even-indexed machines.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "sched/matrix.hpp"
+
+namespace gridtrust::workload {
+
+/// Structural relationship between rows of the EEC matrix.
+enum class Consistency {
+  kConsistent,      ///< machines ordered identically for all tasks
+  kInconsistent,    ///< no ordering relationship
+  kSemiConsistent,  ///< even-indexed machines consistent, rest inconsistent
+};
+
+/// Degree of variation.
+enum class Heterogeneity { kLow, kHigh };
+
+/// Generation parameters.  Ranges follow the conventions of [10]/Braun et
+/// al.: low task heterogeneity spans [1, 100), high [1, 3000); low machine
+/// heterogeneity spans [1, 10), high [1, 1000).
+struct HeterogeneityParams {
+  Consistency consistency = Consistency::kInconsistent;
+  Heterogeneity task = Heterogeneity::kLow;
+  Heterogeneity machine = Heterogeneity::kLow;
+  double low_task_range = 100.0;
+  double high_task_range = 3000.0;
+  double low_machine_range = 10.0;
+  double high_machine_range = 1000.0;
+
+  double task_range() const {
+    return task == Heterogeneity::kLow ? low_task_range : high_task_range;
+  }
+  double machine_range() const {
+    return machine == Heterogeneity::kLow ? low_machine_range
+                                          : high_machine_range;
+  }
+};
+
+/// The paper's two workload classes.
+HeterogeneityParams consistent_lolo();
+HeterogeneityParams inconsistent_lolo();
+
+/// Short label such as "consistent LoLo" for experiment tables.
+std::string to_string(const HeterogeneityParams& params);
+
+/// Generates a tasks x machines EEC matrix.
+sched::CostMatrix generate_eec(std::size_t tasks, std::size_t machines,
+                               const HeterogeneityParams& params, Rng& rng);
+
+/// Measured heterogeneity of a matrix (coefficient-of-variation summary),
+/// used by property tests to confirm generated classes differ as intended.
+struct MeasuredHeterogeneity {
+  double task_cv = 0.0;     ///< mean CV along columns
+  double machine_cv = 0.0;  ///< mean CV along rows
+};
+MeasuredHeterogeneity measure_heterogeneity(const sched::CostMatrix& eec);
+
+/// Fraction of row pairs whose machine ordering agrees (1.0 for a fully
+/// consistent matrix); sampled exhaustively over machine pairs.
+double consistency_index(const sched::CostMatrix& eec);
+
+}  // namespace gridtrust::workload

@@ -1,0 +1,376 @@
+// Tests for the closed-loop TRMS (trust evolution in the scheduling loop).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/closed_loop.hpp"
+#include "sim/experiment.hpp"
+#include "trust/serialization.hpp"
+
+namespace gridtrust::sim {
+namespace {
+
+grid::GridSystem three_rd_grid(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  grid::RandomGridParams params;
+  params.machines = 6;
+  params.min_resource_domains = 3;
+  params.max_resource_domains = 3;
+  params.min_client_domains = 2;
+  params.max_client_domains = 2;
+  return grid::make_random_grid(params, rng);
+}
+
+std::vector<DomainBehavior> rd_conduct() {
+  return {{5.6, 0.3}, {3.4, 0.3}, {1.6, 0.3}};
+}
+
+std::vector<DomainBehavior> cd_conduct() { return {{5.0, 0.3}, {5.0, 0.3}}; }
+
+ClosedLoopConfig small_config(bool adaptive) {
+  ClosedLoopConfig config;
+  config.rounds = 8;
+  config.tasks_per_round = 30;
+  config.adaptive = adaptive;
+  config.initial_level = trust::TrustLevel::kE;
+  return config;
+}
+
+TEST(ClosedLoop, RunsAllRoundsAndCountsTransactions) {
+  const grid::GridSystem grid = three_rd_grid();
+  const ClosedLoopResult result = run_closed_loop(
+      grid, rd_conduct(), cd_conduct(), small_config(true), Rng(1));
+  ASSERT_EQ(result.rounds.size(), 8u);
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    EXPECT_EQ(result.rounds[i].round, i);
+    EXPECT_GT(result.rounds[i].makespan, 0.0);
+    EXPECT_GE(result.rounds[i].mean_chosen_tc, 0.0);
+  }
+  // Every request generates one client-side and one resource-side
+  // transaction per activity; activities are 1-4 per request.
+  EXPECT_GE(result.transactions, 2u * 8u * 30u);
+  EXPECT_LE(result.transactions, 8u * 8u * 30u);
+}
+
+TEST(ClosedLoop, FrozenArmNeverTouchesTheTable) {
+  const grid::GridSystem grid = three_rd_grid();
+  const ClosedLoopResult result = run_closed_loop(
+      grid, rd_conduct(), cd_conduct(), small_config(false), Rng(1));
+  EXPECT_EQ(result.transactions, 0u);
+  for (const RoundMetrics& round : result.rounds) {
+    EXPECT_EQ(round.table_updates, 0u);
+    // With an all-E table and no learning, chosen TC derives purely from
+    // RTL - E gaps.
+  }
+  for (std::size_t rd = 0; rd < 3; ++rd) {
+    EXPECT_EQ(result.final_table.get(0, rd, 0), trust::TrustLevel::kE);
+  }
+}
+
+TEST(ClosedLoop, LearnsTheConductOrdering) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.rounds = 10;
+  const ClosedLoopResult result =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(2));
+  const int learned0 = trust::to_numeric(result.final_table.get(0, 0, 0));
+  const int learned1 = trust::to_numeric(result.final_table.get(0, 1, 0));
+  const int learned2 = trust::to_numeric(result.final_table.get(0, 2, 0));
+  EXPECT_GT(learned0, learned1);
+  EXPECT_GT(learned1, learned2);
+  EXPECT_GE(learned0, 5);  // exemplary stays E
+  EXPECT_LE(learned2, 2);  // hostile drops to A/B
+}
+
+TEST(ClosedLoop, AdaptationReducesResidualExposure) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.rounds = 10;
+  const ClosedLoopResult adaptive =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(3));
+  config.adaptive = false;
+  const ClosedLoopResult frozen =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(3));
+  // Identical first round (the table has not been refreshed yet).
+  EXPECT_NEAR(adaptive.rounds[0].mean_residual_exposure,
+              frozen.rounds[0].mean_residual_exposure, 1e-9);
+  // From the back half of the run, adaptive residual exposure must sit far
+  // below frozen.
+  double adaptive_tail = 0.0;
+  double frozen_tail = 0.0;
+  for (std::size_t i = 5; i < 10; ++i) {
+    adaptive_tail += adaptive.rounds[i].mean_residual_exposure;
+    frozen_tail += frozen.rounds[i].mean_residual_exposure;
+  }
+  EXPECT_LT(adaptive_tail, 0.4 * frozen_tail);
+}
+
+TEST(ClosedLoop, ResidualExposureIsNonNegative) {
+  const grid::GridSystem grid = three_rd_grid();
+  const ClosedLoopResult result = run_closed_loop(
+      grid, rd_conduct(), cd_conduct(), small_config(true), Rng(4));
+  for (const RoundMetrics& round : result.rounds) {
+    EXPECT_GE(round.mean_residual_exposure, 0.0);
+    EXPECT_GE(round.misplaced_sensitive_fraction, 0.0);
+    EXPECT_LE(round.misplaced_sensitive_fraction, 1.0);
+  }
+}
+
+TEST(ClosedLoop, DeterministicForSeed) {
+  const grid::GridSystem grid = three_rd_grid();
+  const ClosedLoopResult a = run_closed_loop(
+      grid, rd_conduct(), cd_conduct(), small_config(true), Rng(9));
+  const ClosedLoopResult b = run_closed_loop(
+      grid, rd_conduct(), cd_conduct(), small_config(true), Rng(9));
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].makespan, b.rounds[i].makespan);
+    EXPECT_EQ(a.rounds[i].mean_residual_exposure,
+              b.rounds[i].mean_residual_exposure);
+  }
+}
+
+TEST(ClosedLoop, BatchModeWorksInTheLoop) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.rms.mode = SchedulingMode::kBatch;
+  config.rms.heuristic = "sufferage";
+  const ClosedLoopResult result =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(5));
+  EXPECT_EQ(result.rounds.size(), config.rounds);
+  EXPECT_GT(result.transactions, 0u);
+}
+
+TEST(ClosedLoop, PerActivityConductIsLearnedPerToa) {
+  // One resource domain is excellent at activity 0 but hostile at activity
+  // 1; the per-ToA trust table must learn the difference.
+  const grid::GridSystem grid = three_rd_grid();
+  std::vector<DomainBehavior> rds = rd_conduct();
+  rds[0].mean = 5.5;
+  rds[0].sigma = 0.2;
+  rds[0].activity_mean[1] = 1.4;  // hostile for ToA 1 only
+  ClosedLoopConfig config = small_config(true);
+  config.rounds = 12;
+  config.requests.min_activities = 1;
+  config.requests.max_activities = 2;
+  const ClosedLoopResult result =
+      run_closed_loop(grid, rds, cd_conduct(), config, Rng(6));
+  const int level_act0 = trust::to_numeric(result.final_table.get(0, 0, 0));
+  const int level_act1 = trust::to_numeric(result.final_table.get(0, 0, 1));
+  EXPECT_GT(level_act0, level_act1);
+  EXPECT_LE(level_act1, 2);
+}
+
+TEST(DomainBehavior, WorstMeanAndOverrides) {
+  DomainBehavior behavior;
+  behavior.mean = 5.0;
+  behavior.activity_mean[2] = 1.5;
+  EXPECT_EQ(behavior.mean_for(0), 5.0);
+  EXPECT_EQ(behavior.mean_for(2), 1.5);
+  EXPECT_EQ(behavior.worst_mean({0, 1}), 5.0);
+  EXPECT_EQ(behavior.worst_mean({0, 2}), 1.5);
+  EXPECT_THROW(behavior.worst_mean({}), PreconditionError);
+}
+
+TEST(ClosedLoop, ReplicaStalenessDelaysButDoesNotPreventAdaptation) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.rounds = 12;
+  const ClosedLoopResult fresh =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(8));
+  config.replica_staleness_rounds = 4;
+  const ClosedLoopResult stale =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(8));
+  // Early rounds: the stale replica still shows the optimistic prior, so
+  // uncovered exposure stays high while the fresh reader has adapted.
+  double fresh_early = 0.0;
+  double stale_early = 0.0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    fresh_early += fresh.rounds[i].mean_residual_exposure;
+    stale_early += stale.rounds[i].mean_residual_exposure;
+  }
+  EXPECT_LT(fresh_early, stale_early);
+  // Late rounds: both have converged.
+  EXPECT_LT(stale.rounds.back().mean_residual_exposure, 0.3);
+}
+
+TEST(ClosedLoop, CompromiseSpikesExposureAndRecovers) {
+  const grid::GridSystem grid = three_rd_grid();
+  std::vector<DomainBehavior> rds = {{5.6, 0.3}, {4.5, 0.3}, {4.5, 0.3}};
+  ClosedLoopConfig config = small_config(true);
+  config.rounds = 14;
+  config.tasks_per_round = 50;
+  config.engine.learning_rate = 0.5;
+  config.conduct_changes.push_back({6, 0, 1.4});
+  const ClosedLoopResult run =
+      run_closed_loop(grid, rds, cd_conduct(), config, Rng(11));
+  // Pre-compromise steady state is near zero; the compromise round spikes;
+  // the tail recovers as the agents re-learn.
+  const double before = run.rounds[5].mean_residual_exposure;
+  const double spike = run.rounds[6].mean_residual_exposure;
+  const double after = run.rounds[13].mean_residual_exposure;
+  EXPECT_GT(spike, before + 0.3);
+  EXPECT_LT(after, spike * 0.5);
+  // The learned table reflects the compromise.
+  EXPECT_LE(trust::to_numeric(run.final_table.get(0, 0, 0)), 2);
+}
+
+TEST(ClosedLoop, ConductChangeValidation) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.conduct_changes.push_back({2, 9, 3.0});  // unknown RD
+  EXPECT_THROW(
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(1)),
+      PreconditionError);
+  config = small_config(true);
+  config.conduct_changes.push_back({99, 0, 3.0});  // past the last round
+  EXPECT_THROW(
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(1)),
+      PreconditionError);
+  config = small_config(true);
+  config.conduct_changes.push_back({2, 0, 9.0});  // off the trust scale
+  EXPECT_THROW(
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(1)),
+      PreconditionError);
+}
+
+TEST(Experiment, DrawInstanceIsSelfConsistent) {
+  Scenario scenario;
+  scenario.tasks = 15;
+  Rng rng(5);
+  const Instance instance =
+      draw_instance(scenario, sched::trust_aware_policy(), rng);
+  EXPECT_EQ(instance.requests.size(), 15u);
+  EXPECT_EQ(instance.problem.num_requests(), 15u);
+  EXPECT_EQ(instance.problem.num_machines(), instance.grid.machines().size());
+  EXPECT_EQ(instance.table.client_domains(),
+            instance.grid.client_domains().size());
+  for (std::size_t r = 0; r < 15; ++r) {
+    EXPECT_EQ(instance.problem.arrival_time(r),
+              instance.requests[r].arrival_time);
+  }
+}
+
+TEST(ClosedLoop, BetaMaintainerAlsoLearnsWithoutCollusion) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.rounds = 10;
+  config.maintainer = ClosedLoopConfig::TableMaintainer::kBetaPooled;
+  const ClosedLoopResult result =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(12));
+  // The pooled table still learns the conduct ordering honestly.
+  EXPECT_GT(trust::to_numeric(result.final_table.get(0, 0, 0)),
+            trust::to_numeric(result.final_table.get(0, 2, 0)));
+  EXPECT_LT(result.rounds.back().mean_residual_exposure, 0.35);
+  EXPECT_GT(result.transactions, 0u);
+}
+
+TEST(ClosedLoop, CollusionPoisonsBetaButNotGammaForHonestDomains) {
+  const grid::GridSystem grid = three_rd_grid(7);
+  std::vector<DomainBehavior> rds = {{5.6, 0.3}, {4.4, 0.3}, {1.6, 0.3}};
+  const auto run_with = [&](ClosedLoopConfig::TableMaintainer maintainer) {
+    ClosedLoopConfig config = small_config(true);
+    config.rounds = 12;
+    config.tasks_per_round = 60;
+    config.maintainer = maintainer;
+    config.colluding_pairs.push_back({1, 2});  // cd1 whitewashes rd2
+    config.engine.alliance_discount = 0.1;
+    return run_closed_loop(grid, rds, cd_conduct(), config, Rng(13));
+  };
+  const ClosedLoopResult gamma =
+      run_with(ClosedLoopConfig::TableMaintainer::kGammaBridge);
+  const ClosedLoopResult beta =
+      run_with(ClosedLoopConfig::TableMaintainer::kBetaPooled);
+  // Honest cd0's view of the hostile rd2: Γ learns the truth; the pooled
+  // Beta view is inflated by the colluder.
+  EXPECT_LT(trust::to_numeric(gamma.final_table.get(0, 2, 0)),
+            trust::to_numeric(beta.final_table.get(0, 2, 0)));
+  // Honest-domain exposure in the tail: Γ below Beta.
+  double gamma_tail = 0.0;
+  double beta_tail = 0.0;
+  for (std::size_t i = 8; i < 12; ++i) {
+    gamma_tail += gamma.rounds[i].mean_residual_exposure_honest;
+    beta_tail += beta.rounds[i].mean_residual_exposure_honest;
+  }
+  EXPECT_LT(gamma_tail, beta_tail);
+}
+
+TEST(ClosedLoop, HonestExposureEqualsTotalWithoutCollusion) {
+  const grid::GridSystem grid = three_rd_grid();
+  const ClosedLoopResult result = run_closed_loop(
+      grid, rd_conduct(), cd_conduct(), small_config(true), Rng(14));
+  for (const RoundMetrics& round : result.rounds) {
+    EXPECT_NEAR(round.mean_residual_exposure,
+                round.mean_residual_exposure_honest, 1e-12);
+  }
+}
+
+TEST(ClosedLoop, WarmStartSkipsTheLearningPhase) {
+  // Run a cold loop, persist its learned table, and warm-start a second
+  // deployment from it: the warm run's first rounds must already show the
+  // converged exposure the cold run only reaches later.
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.rounds = 10;
+  const ClosedLoopResult cold =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(21));
+
+  // Round-trip the learned table through the save format.
+  const trust::TrustLevelTable restored =
+      trust::table_from_string(trust::table_to_string(cold.final_table));
+
+  ClosedLoopConfig warm_config = small_config(true);
+  warm_config.rounds = 4;
+  warm_config.initial_table = restored;
+  const ClosedLoopResult warm =
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), warm_config, Rng(22));
+
+  const double cold_first = cold.rounds[0].mean_residual_exposure;
+  double warm_early = 0.0;
+  for (const RoundMetrics& round : warm.rounds) {
+    warm_early = std::max(warm_early, round.mean_residual_exposure);
+  }
+  EXPECT_LT(warm_early, 0.6 * cold_first);
+}
+
+TEST(ClosedLoop, WarmStartValidatesDimensions) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.initial_table = trust::TrustLevelTable(1, 1, 1);
+  EXPECT_THROW(
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(1)),
+      PreconditionError);
+}
+
+TEST(ClosedLoop, CollusionPairValidation) {
+  const grid::GridSystem grid = three_rd_grid();
+  ClosedLoopConfig config = small_config(true);
+  config.colluding_pairs.push_back({9, 0});
+  EXPECT_THROW(
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), config, Rng(1)),
+      PreconditionError);
+}
+
+TEST(ClosedLoop, Validation) {
+  const grid::GridSystem grid = three_rd_grid();
+  EXPECT_THROW(run_closed_loop(grid, {{5.0, 0.1}}, cd_conduct(),
+                               small_config(true), Rng(1)),
+               PreconditionError);
+  EXPECT_THROW(run_closed_loop(grid, rd_conduct(), {{5.0, 0.1}},
+                               small_config(true), Rng(1)),
+               PreconditionError);
+  ClosedLoopConfig bad = small_config(true);
+  bad.rounds = 0;
+  EXPECT_THROW(
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), bad, Rng(1)),
+      PreconditionError);
+  bad = small_config(true);
+  bad.initial_level = trust::TrustLevel::kF;
+  EXPECT_THROW(
+      run_closed_loop(grid, rd_conduct(), cd_conduct(), bad, Rng(1)),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridtrust::sim

@@ -1,0 +1,129 @@
+// Tests for the distributed (per-domain) RMS.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/distributed.hpp"
+
+namespace gridtrust::sim {
+namespace {
+
+struct Instance {
+  sched::SchedulingProblem problem;
+  std::vector<grid::ClientDomainId> owner;
+};
+
+Instance make_instance(std::uint64_t seed, std::size_t n = 40,
+                       std::size_t m = 5, std::size_t domains = 3,
+                       double arrival_rate = 1.0) {
+  Rng rng(seed);
+  sched::CostMatrix eec(n, m);
+  sched::TrustCostMatrix tc(n, m);
+  std::vector<double> arrivals(n);
+  std::vector<grid::ClientDomainId> owner(n);
+  double t = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      eec.at(r, c) = rng.uniform(5.0, 50.0);
+      tc.at(r, c) = static_cast<int>(rng.uniform_int(0, 6));
+    }
+    if (arrival_rate > 0) t += rng.exponential(1.0 / arrival_rate);
+    arrivals[r] = t;
+    owner[r] = rng.index(domains);
+  }
+  return Instance{sched::SchedulingProblem(std::move(eec), std::move(tc),
+                                           sched::trust_aware_policy(),
+                                           sched::SecurityCostModel{},
+                                           std::move(arrivals)),
+                  std::move(owner)};
+}
+
+TEST(Distributed, ProducesACompleteValidSchedule) {
+  const Instance inst = make_instance(1);
+  DistributedConfig config;
+  const DistributedResult result =
+      run_distributed(inst.problem, inst.owner, config);
+  EXPECT_TRUE(result.schedule.complete());
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.utilization_pct, 0.0);
+  EXPECT_LE(result.utilization_pct, 100.0 + 1e-9);
+  for (std::size_t r = 0; r < inst.problem.num_requests(); ++r) {
+    EXPECT_GE(result.schedule.start[r],
+              inst.problem.arrival_time(r) - 1e-9);
+  }
+}
+
+TEST(Distributed, SingleOwnerMatchesCentralImmediateMode) {
+  // With one domain owning everything and any sync interval, the view and
+  // the truth coincide, so the outcome equals the central immediate RMS.
+  Instance inst = make_instance(2);
+  std::fill(inst.owner.begin(), inst.owner.end(), grid::ClientDomainId{0});
+  DistributedConfig config;
+  config.heuristic = "mct";
+  const DistributedResult dist =
+      run_distributed(inst.problem, inst.owner, config);
+  TrmsConfig central_cfg;
+  central_cfg.heuristic = "mct";
+  const SimulationResult central = run_trms(inst.problem, central_cfg);
+  EXPECT_EQ(dist.schedule.machine_of, central.schedule.machine_of);
+  EXPECT_NEAR(dist.makespan, central.makespan, 1e-9);
+  EXPECT_NEAR(dist.mean_decision_error, 0.0, 1e-9);
+}
+
+TEST(Distributed, StaleViewsCreateDecisionError) {
+  const Instance inst = make_instance(3);
+  DistributedConfig config;
+  config.sync_interval = 0.0;  // never sync: maximal staleness
+  const DistributedResult result =
+      run_distributed(inst.problem, inst.owner, config);
+  EXPECT_EQ(result.syncs, 0u);
+  EXPECT_GT(result.mean_decision_error, 0.0);
+}
+
+TEST(Distributed, FrequentSyncReducesDecisionError) {
+  const Instance inst = make_instance(4, 80);
+  DistributedConfig fast;
+  fast.sync_interval = 1.0;
+  DistributedConfig never;
+  never.sync_interval = 0.0;
+  const DistributedResult r_fast =
+      run_distributed(inst.problem, inst.owner, fast);
+  const DistributedResult r_never =
+      run_distributed(inst.problem, inst.owner, never);
+  EXPECT_GT(r_fast.syncs, 0u);
+  EXPECT_LT(r_fast.mean_decision_error, r_never.mean_decision_error);
+}
+
+TEST(Distributed, WorksWithEveryImmediateHeuristic) {
+  const Instance inst = make_instance(5, 30);
+  for (const std::string& name : sched::immediate_heuristic_names()) {
+    DistributedConfig config;
+    config.heuristic = name;
+    const DistributedResult result =
+        run_distributed(inst.problem, inst.owner, config);
+    EXPECT_TRUE(result.schedule.complete()) << name;
+  }
+}
+
+TEST(Distributed, DeterministicForSameInput) {
+  const Instance inst = make_instance(6);
+  DistributedConfig config;
+  const DistributedResult a = run_distributed(inst.problem, inst.owner, config);
+  const DistributedResult b = run_distributed(inst.problem, inst.owner, config);
+  EXPECT_EQ(a.schedule.machine_of, b.schedule.machine_of);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(Distributed, Validation) {
+  const Instance inst = make_instance(7);
+  DistributedConfig config;
+  std::vector<grid::ClientDomainId> short_owner(
+      inst.problem.num_requests() - 1, 0);
+  EXPECT_THROW(run_distributed(inst.problem, short_owner, config),
+               PreconditionError);
+  config.heuristic = "not-a-heuristic";
+  EXPECT_THROW(run_distributed(inst.problem, inst.owner, config),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridtrust::sim

@@ -1,0 +1,119 @@
+// Tests for the ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sched/executor.hpp"
+#include "sched/gantt.hpp"
+
+namespace gridtrust::sched {
+namespace {
+
+SchedulingProblem two_machine_problem() {
+  CostMatrix eec(3, 2);
+  const double vals[3][2] = {{4, 4}, {4, 4}, {8, 8}};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t m = 0; m < 2; ++m) eec.at(r, m) = vals[r][m];
+  }
+  TrustCostMatrix tc(3, 2, 0);
+  return SchedulingProblem(std::move(eec), std::move(tc),
+                           trust_aware_policy(), SecurityCostModel{});
+}
+
+Schedule hand_schedule(const SchedulingProblem& p) {
+  Schedule s = Schedule::for_problem(p);
+  commit_assignment(p, 0, 0, 0.0, s);  // m0: [0, 4)
+  commit_assignment(p, 1, 0, 0.0, s);  // m0: [4, 8)
+  commit_assignment(p, 2, 1, 0.0, s);  // m1: [0, 8)
+  return s;
+}
+
+TEST(Gantt, LayoutMatchesHandSchedule) {
+  const SchedulingProblem p = two_machine_problem();
+  const Schedule s = hand_schedule(p);
+  GanttOptions options;
+  options.width = 8;  // one column per time unit
+  options.axis = false;
+  const std::string chart = render_gantt(p, s, options);
+  std::istringstream is(chart);
+  std::string row0;
+  std::string row1;
+  std::getline(is, row0);
+  std::getline(is, row1);
+  EXPECT_EQ(row0, "m0 |00001111|");
+  EXPECT_EQ(row1, "m1 |22222222|");
+}
+
+TEST(Gantt, IdleTimeRendersAsDots) {
+  const SchedulingProblem p = two_machine_problem();
+  Schedule s = Schedule::for_problem(p);
+  commit_assignment(p, 0, 0, 0.0, s);   // m0 busy [0, 4)
+  commit_assignment(p, 2, 0, 8.0, s);   // m0 busy [8, 16) after a gap
+  commit_assignment(p, 1, 1, 0.0, s);   // m1 busy [0, 4)
+  GanttOptions options;
+  options.width = 16;
+  options.axis = false;
+  const std::string chart = render_gantt(p, s, options);
+  std::istringstream is(chart);
+  std::string row0;
+  std::string row1;
+  std::getline(is, row0);
+  std::getline(is, row1);
+  EXPECT_EQ(row0, "m0 |0000....22222222|");
+  EXPECT_EQ(row1, "m1 |1111............|");
+}
+
+TEST(Gantt, CustomMachineNamesAndAxis) {
+  const SchedulingProblem p = two_machine_problem();
+  const Schedule s = hand_schedule(p);
+  GanttOptions options;
+  options.width = 8;
+  options.machine_names = {"uni-hpc", "lab"};
+  const std::string chart = render_gantt(p, s, options);
+  EXPECT_NE(chart.find("uni-hpc |"), std::string::npos);
+  EXPECT_NE(chart.find("lab     |"), std::string::npos);
+  EXPECT_NE(chart.find("8.0"), std::string::npos);  // axis end label
+  EXPECT_NE(chart.find(" 0"), std::string::npos);   // axis start label
+}
+
+TEST(Gantt, GlyphsWrapAfter36Requests) {
+  CostMatrix eec(40, 1, 1.0);
+  TrustCostMatrix tc(40, 1, 0);
+  const SchedulingProblem p(eec, tc, trust_aware_policy(),
+                            SecurityCostModel{});
+  auto olb = make_olb();
+  const Schedule s = run_immediate(p, *olb);
+  GanttOptions options;
+  options.width = 40;
+  options.axis = false;
+  const std::string chart = render_gantt(p, s, options);
+  // Request 36 reuses glyph '0'; the row must contain both extremes.
+  EXPECT_NE(chart.find('z'), std::string::npos);
+  EXPECT_EQ(chart.find('|') != std::string::npos, true);
+}
+
+TEST(Gantt, PartialSchedulesRenderOnlyAssignedWork) {
+  const SchedulingProblem p = two_machine_problem();
+  Schedule s = Schedule::for_problem(p);
+  commit_assignment(p, 1, 1, 0.0, s);
+  const std::string chart = render_gantt(p, s);
+  EXPECT_NE(chart.find('1'), std::string::npos);
+  EXPECT_EQ(chart.find('0'), chart.find("0"));  // axis zero only
+}
+
+TEST(Gantt, Validation) {
+  const SchedulingProblem p = two_machine_problem();
+  const Schedule empty = Schedule::for_problem(p);
+  EXPECT_THROW(render_gantt(p, empty), PreconditionError);  // makespan 0
+  const Schedule s = hand_schedule(p);
+  GanttOptions narrow;
+  narrow.width = 4;
+  EXPECT_THROW(render_gantt(p, s, narrow), PreconditionError);
+  GanttOptions bad_names;
+  bad_names.machine_names = {"only-one"};
+  EXPECT_THROW(render_gantt(p, s, bad_names), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridtrust::sched

@@ -1,0 +1,146 @@
+// Tests for the shared-link fluid-flow staging simulator.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/link_sim.hpp"
+
+namespace gridtrust::net {
+namespace {
+
+SharedLinkSimulator gigabit_sim() {
+  const LinkProfile link = gigabit_ethernet_link();
+  return SharedLinkSimulator(piii_866_host(link), link);
+}
+
+SharedLinkSimulator fast_sim() {
+  const LinkProfile link = fast_ethernet_link();
+  return SharedLinkSimulator(piii_866_host(link), link);
+}
+
+TEST(LinkSim, SingleSessionMatchesTransferModel) {
+  // A lone flow must reproduce the Tables 2-3 model up to the pipeline
+  // fill time (the fluid model has no per-chunk fill, so it is slightly
+  // faster but within a chunk's worth).
+  const LinkProfile link = gigabit_ethernet_link();
+  const TransferModel reference(piii_866_host(link), link);
+  const SharedLinkSimulator sim(piii_866_host(link), link);
+  for (const double mb : {10.0, 100.0, 1000.0}) {
+    for (const Protocol protocol : {Protocol::kRcp, Protocol::kScp}) {
+      const double fluid =
+          sim.simulate({SessionSpec{0.0, Megabytes(mb), protocol}})
+              .sessions[0]
+              .duration();
+      const double chunked = reference.transfer_time_s(Megabytes(mb), protocol);
+      EXPECT_NEAR(fluid, chunked, 0.05 * chunked + 0.5)
+          << mb << " MB " << to_string(protocol);
+    }
+  }
+}
+
+TEST(LinkSim, OutcomesAreTimeOrderedAndComplete) {
+  const auto report = gigabit_sim().simulate(
+      {SessionSpec{0.0, Megabytes(50), Protocol::kScp},
+       SessionSpec{1.0, Megabytes(20), Protocol::kRcp},
+       SessionSpec{2.0, Megabytes(5), Protocol::kScp}});
+  ASSERT_EQ(report.sessions.size(), 3u);
+  for (const SessionOutcome& s : report.sessions) {
+    EXPECT_GE(s.streaming_from, s.start);
+    EXPECT_GT(s.finish, s.streaming_from);
+  }
+  EXPECT_NEAR(report.total_payload_mb, 75.0, 1e-9);
+  EXPECT_GT(report.aggregate_rate_mb_s, 0.0);
+}
+
+TEST(LinkSim, ParallelScpDoesNotScale) {
+  // The cipher is one shared CPU: 4 parallel scp flows move the payload no
+  // faster than one batched flow.
+  const auto sim = gigabit_sim();
+  const auto par = sim.stage_parallel(4, Megabytes(100), Protocol::kScp);
+  const auto bat = sim.stage_batched(4, Megabytes(100), Protocol::kScp);
+  EXPECT_GE(par.makespan, bat.makespan - 1e-6);
+  // Aggregate throughput is pinned at the cipher rate either way.
+  EXPECT_NEAR(par.aggregate_rate_mb_s, bat.aggregate_rate_mb_s,
+              0.15 * bat.aggregate_rate_mb_s + 0.2);
+}
+
+TEST(LinkSim, ParallelRcpScalesUntilTheLinkSaturates) {
+  // On the fast-Ethernet link one rcp flow is link-bound already, so
+  // parallelism cannot help; it must not hurt much either.
+  const auto fast = fast_sim();
+  const auto one = fast.stage_batched(4, Megabytes(100), Protocol::kRcp);
+  const auto four = fast.stage_parallel(4, Megabytes(100), Protocol::kRcp);
+  EXPECT_NEAR(four.makespan, one.makespan, 0.1 * one.makespan + 1.0);
+}
+
+TEST(LinkSim, BatchingEliminatesHandshakeOverheadForSmallFiles) {
+  const auto sim = gigabit_sim();
+  const std::size_t files = 50;
+  const auto seq = sim.stage_sequential(files, Megabytes(1), Protocol::kScp);
+  const auto bat = sim.stage_batched(files, Megabytes(1), Protocol::kScp);
+  // Sequential pays ~50 handshakes at 0.45 s; batched pays one.
+  EXPECT_GT(seq.makespan - bat.makespan, 0.8 * 0.45 * (files - 1));
+}
+
+TEST(LinkSim, SequentialSessionsDoNotOverlap) {
+  const auto sim = gigabit_sim();
+  const auto report = sim.stage_sequential(5, Megabytes(10), Protocol::kScp);
+  for (std::size_t i = 1; i < report.sessions.size(); ++i) {
+    EXPECT_GE(report.sessions[i].start,
+              report.sessions[i - 1].finish - 1e-6);
+  }
+}
+
+TEST(LinkSim, LateArrivalWaitsForItsStart) {
+  const auto report = gigabit_sim().simulate(
+      {SessionSpec{100.0, Megabytes(1), Protocol::kRcp}});
+  EXPECT_NEAR(report.sessions[0].start, 100.0, 1e-9);
+  EXPECT_GT(report.sessions[0].finish, 100.0);
+}
+
+TEST(LinkSim, FairSharingSlowsConcurrentIdenticalFlows) {
+  const auto sim = fast_sim();
+  const double solo =
+      sim.simulate({SessionSpec{0.0, Megabytes(100), Protocol::kRcp}})
+          .sessions[0]
+          .duration();
+  const auto both = sim.simulate(
+      {SessionSpec{0.0, Megabytes(100), Protocol::kRcp},
+       SessionSpec{0.0, Megabytes(100), Protocol::kRcp}});
+  // Two link-bound flows sharing one link take about twice as long.
+  EXPECT_NEAR(both.sessions[0].duration(), 2.0 * solo, 0.2 * solo + 1.0);
+}
+
+TEST(LinkSim, MixedProtocolsShareSanely) {
+  // An rcp flow next to an scp flow: the rcp flow gets the link share the
+  // cipher-bound scp flow cannot use... with equal link split, rcp is
+  // capped at half the link; assert both finish and scp remains slower.
+  const auto report = gigabit_sim().simulate(
+      {SessionSpec{0.0, Megabytes(200), Protocol::kRcp},
+       SessionSpec{0.0, Megabytes(200), Protocol::kScp}});
+  EXPECT_LT(report.sessions[0].finish, report.sessions[1].finish);
+}
+
+TEST(LinkSim, Validation) {
+  const auto sim = gigabit_sim();
+  EXPECT_THROW(sim.simulate({}), PreconditionError);
+  EXPECT_THROW(sim.simulate({SessionSpec{0.0, Megabytes(0), Protocol::kRcp}}),
+               PreconditionError);
+  EXPECT_THROW(
+      sim.simulate({SessionSpec{-1.0, Megabytes(1), Protocol::kRcp}}),
+      PreconditionError);
+  EXPECT_THROW(sim.stage_parallel(0, Megabytes(1), Protocol::kRcp),
+               PreconditionError);
+}
+
+TEST(LinkSim, StrategiesMoveIdenticalPayload) {
+  const auto sim = gigabit_sim();
+  const auto par = sim.stage_parallel(8, Megabytes(25), Protocol::kScp);
+  const auto seq = sim.stage_sequential(8, Megabytes(25), Protocol::kScp);
+  const auto bat = sim.stage_batched(8, Megabytes(25), Protocol::kScp);
+  EXPECT_NEAR(par.total_payload_mb, 200.0, 1e-9);
+  EXPECT_NEAR(seq.total_payload_mb, 200.0, 1e-9);
+  EXPECT_NEAR(bat.total_payload_mb, 200.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gridtrust::net

@@ -1,0 +1,114 @@
+// Tests for the TrustManager facade (§2.2's "trust management
+// architecture" as a deployable component).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "des/simulator.hpp"
+#include "trust/manager.hpp"
+
+namespace gridtrust::trust {
+namespace {
+
+TrustManagerConfig fast_config() {
+  TrustManagerConfig config;
+  config.refresh_interval = 10.0;
+  config.min_transactions = 2;
+  return config;
+}
+
+TEST(TrustManager, MaintainRefreshesTheTable) {
+  TrustManager manager(fast_config(), 1, 1, 1);
+  manager.observe_client_side(0, 0, 0, 1.0, 5.0);
+  manager.observe_resource_side(0, 0, 0, 2.0, 5.0);
+  EXPECT_EQ(manager.table().get(0, 0, 0), TrustLevel::kA);  // untouched yet
+  EXPECT_GT(manager.maintain(3.0), 0u);
+  EXPECT_EQ(manager.table().get(0, 0, 0), TrustLevel::kE);
+  EXPECT_EQ(manager.stats().ticks, 1u);
+  EXPECT_EQ(manager.stats().table_updates, 1u);
+}
+
+TEST(TrustManager, AttachedTicksRunPeriodically) {
+  TrustManager manager(fast_config(), 1, 1, 1);
+  des::Simulator sim;
+  manager.attach(sim);
+  // Feed observations at t=1, 2 via simulator events.
+  sim.schedule_at(1.0, [&] { manager.observe_client_side(0, 0, 0, 1.0, 5.0); });
+  sim.schedule_at(2.0, [&] {
+    manager.observe_resource_side(0, 0, 0, 2.0, 5.0);
+  });
+  sim.run_until(35.0);
+  // Ticks at t = 10, 20, 30.
+  EXPECT_EQ(manager.stats().ticks, 3u);
+  EXPECT_EQ(manager.table().get(0, 0, 0), TrustLevel::kE);
+  // The first tick applied the update; later ticks found nothing new.
+  EXPECT_EQ(manager.stats().table_updates, 1u);
+}
+
+TEST(TrustManager, PruningDropsStaleRecords) {
+  TrustManagerConfig config = fast_config();
+  config.prune_horizon = 50.0;
+  TrustManager manager(config, 1, 2, 1);
+  manager.observe_client_side(0, 0, 0, 1.0, 5.0);    // stale by t=100
+  manager.observe_client_side(0, 1, 0, 95.0, 5.0);   // fresh
+  manager.maintain(100.0);
+  EXPECT_EQ(manager.stats().pruned_records, 1u);
+  EXPECT_FALSE(manager.bridge()
+                   .engine()
+                   .direct_record(manager.bridge().cd_entity(0),
+                                  manager.bridge().rd_entity(0), 0)
+                   .has_value());
+  EXPECT_TRUE(manager.bridge()
+                  .engine()
+                  .direct_record(manager.bridge().cd_entity(0),
+                                 manager.bridge().rd_entity(1), 0)
+                  .has_value());
+}
+
+TEST(TrustManager, SaveLoadRoundTrip) {
+  TrustManager original(fast_config(), 2, 2, 2);
+  for (int i = 0; i < 4; ++i) {
+    original.observe_client_side(0, 1, 0, i, 5.0);
+    original.observe_resource_side(1, 0, 0, i, 5.0);
+  }
+  original.maintain(10.0);
+  std::ostringstream table_out;
+  std::ostringstream engine_out;
+  original.save(table_out, engine_out);
+
+  TrustManager restored(fast_config(), 2, 2, 2);
+  std::istringstream table_in(table_out.str());
+  std::istringstream engine_in(engine_out.str());
+  restored.load(table_in, engine_in);
+  EXPECT_EQ(restored.table().get(0, 1, 0), original.table().get(0, 1, 0));
+  EXPECT_EQ(restored.bridge().engine().transaction_count(),
+            original.bridge().engine().transaction_count());
+  // The restored manager keeps evolving seamlessly.
+  restored.observe_client_side(0, 1, 0, 20.0, 1.0);
+  restored.observe_client_side(0, 1, 0, 21.0, 1.0);
+  restored.maintain(22.0);
+  EXPECT_LT(to_numeric(restored.table().get(0, 1, 0)),
+            to_numeric(original.table().get(0, 1, 0)));
+}
+
+TEST(TrustManager, LoadValidatesDimensions) {
+  TrustManager original(fast_config(), 1, 1, 1);
+  original.observe_client_side(0, 0, 0, 1.0, 4.0);
+  std::ostringstream table_out;
+  std::ostringstream engine_out;
+  original.save(table_out, engine_out);
+  TrustManager wrong(fast_config(), 2, 2, 2);
+  std::istringstream table_in(table_out.str());
+  std::istringstream engine_in(engine_out.str());
+  EXPECT_THROW(wrong.load(table_in, engine_in), PreconditionError);
+}
+
+TEST(TrustManager, Validation) {
+  TrustManagerConfig bad;
+  bad.refresh_interval = 0.0;
+  EXPECT_THROW(TrustManager(bad, 1, 1, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridtrust::trust

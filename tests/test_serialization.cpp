@@ -1,0 +1,186 @@
+// Tests for trust-state persistence (table and engine round-trips).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "trust/serialization.hpp"
+
+namespace gridtrust::trust {
+namespace {
+
+TrustLevelTable random_table(std::size_t cd, std::size_t rd, std::size_t act,
+                             std::uint64_t seed) {
+  TrustLevelTable table(cd, rd, act);
+  Rng rng(seed);
+  table.randomize(rng);
+  return table;
+}
+
+TEST(TableSerialization, RoundTripPreservesEveryEntry) {
+  const TrustLevelTable original = random_table(3, 4, 8, 1);
+  const TrustLevelTable restored =
+      table_from_string(table_to_string(original));
+  ASSERT_EQ(restored.client_domains(), 3u);
+  ASSERT_EQ(restored.resource_domains(), 4u);
+  ASSERT_EQ(restored.activities(), 8u);
+  for (std::size_t cd = 0; cd < 3; ++cd) {
+    for (std::size_t rd = 0; rd < 4; ++rd) {
+      for (std::size_t act = 0; act < 8; ++act) {
+        EXPECT_EQ(restored.get(cd, rd, act), original.get(cd, rd, act));
+      }
+    }
+  }
+}
+
+TEST(TableSerialization, MinimalTable) {
+  TrustLevelTable table(1, 1, 1);
+  table.set(0, 0, 0, TrustLevel::kD);
+  const TrustLevelTable restored = table_from_string(table_to_string(table));
+  EXPECT_EQ(restored.get(0, 0, 0), TrustLevel::kD);
+}
+
+TEST(TableSerialization, FormatIsHumanReadable) {
+  const std::string text = table_to_string(random_table(1, 2, 3, 2));
+  EXPECT_EQ(text.rfind("gridtrust-trust-table v1", 0), 0u);
+  EXPECT_NE(text.find("dims 1 2 3"), std::string::npos);
+  EXPECT_NE(text.find("row 0 0 "), std::string::npos);
+  EXPECT_NE(text.find("row 0 1 "), std::string::npos);
+}
+
+TEST(TableSerialization, ToleratesCommentsAndBlankLines) {
+  const TrustLevelTable original = random_table(2, 2, 2, 3);
+  std::string text = table_to_string(original);
+  text.insert(text.find('\n') + 1, "# a comment\n\n");
+  const TrustLevelTable restored = table_from_string(text);
+  EXPECT_EQ(restored.get(1, 1, 1), original.get(1, 1, 1));
+}
+
+TEST(TableSerialization, RejectsCorruptInput) {
+  EXPECT_THROW(table_from_string(""), PreconditionError);
+  EXPECT_THROW(table_from_string("wrong header\n"), PreconditionError);
+  EXPECT_THROW(table_from_string("gridtrust-trust-table v1\ndims 1 1\n"),
+               PreconditionError);
+  EXPECT_THROW(
+      table_from_string("gridtrust-trust-table v1\ndims 1 1 2\nrow 0 0 A\n"),
+      PreconditionError);  // wrong level count
+  EXPECT_THROW(
+      table_from_string("gridtrust-trust-table v1\ndims 1 1 1\nrow 0 0 F\n"),
+      PreconditionError);  // F is not an offered level
+  EXPECT_THROW(
+      table_from_string("gridtrust-trust-table v1\ndims 1 1 1\nrow 0 5 A\n"),
+      PreconditionError);  // rd out of range
+  EXPECT_THROW(
+      table_from_string("gridtrust-trust-table v1\ndims 1 1 1\n"),
+      PreconditionError);  // missing rows
+}
+
+TEST(EngineSerialization, RoundTripPreservesRecordsExactly) {
+  TrustEngine original({}, 6, 3);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<EntityId>(rng.index(6));
+    auto b = static_cast<EntityId>(rng.index(6));
+    if (a == b) b = static_cast<EntityId>((b + 1) % 6);
+    original.record_transaction({a, b,
+                                 static_cast<ContextId>(rng.index(3)),
+                                 static_cast<double>(i),
+                                 rng.uniform(1.0, 6.0)});
+  }
+
+  std::ostringstream os;
+  save_engine(original, os);
+  TrustEngine restored({}, 6, 3);
+  std::istringstream is(os.str());
+  load_engine(restored, is);
+
+  EXPECT_EQ(restored.transaction_count(), original.transaction_count());
+  const auto a_records = original.export_records();
+  const auto b_records = restored.export_records();
+  ASSERT_EQ(a_records.size(), b_records.size());
+  for (std::size_t i = 0; i < a_records.size(); ++i) {
+    EXPECT_EQ(a_records[i].truster, b_records[i].truster);
+    EXPECT_EQ(a_records[i].trustee, b_records[i].trustee);
+    EXPECT_EQ(a_records[i].context, b_records[i].context);
+    // Bit-exact round trip (precision 17).
+    EXPECT_EQ(a_records[i].record.level, b_records[i].record.level);
+    EXPECT_EQ(a_records[i].record.last_time, b_records[i].record.last_time);
+    EXPECT_EQ(a_records[i].record.count, b_records[i].record.count);
+  }
+  // The restored engine answers queries identically.
+  EXPECT_EQ(original.eventual_trust(0, 1, 0, 1000.0),
+            restored.eventual_trust(0, 1, 0, 1000.0));
+}
+
+TEST(EngineSerialization, LoadIntoLargerEngineWorks) {
+  TrustEngine small({}, 3, 1);
+  small.record_transaction({0, 1, 0, 1.0, 4.0});
+  std::ostringstream os;
+  save_engine(small, os);
+  TrustEngine big({}, 10, 4);
+  std::istringstream is(os.str());
+  load_engine(big, is);
+  EXPECT_TRUE(big.direct_record(0, 1, 0).has_value());
+}
+
+TEST(EngineSerialization, LoadIntoSmallerEngineFails) {
+  TrustEngine original({}, 6, 2);
+  original.record_transaction({0, 5, 1, 1.0, 4.0});
+  std::ostringstream os;
+  save_engine(original, os);
+  TrustEngine tiny({}, 2, 1);
+  std::istringstream is(os.str());
+  EXPECT_THROW(load_engine(tiny, is), PreconditionError);
+}
+
+TEST(EngineSerialization, RefusesToOverwriteExistingRecords) {
+  TrustEngine original({}, 3, 1);
+  original.record_transaction({0, 1, 0, 1.0, 4.0});
+  std::ostringstream os;
+  save_engine(original, os);
+  TrustEngine target({}, 3, 1);
+  target.record_transaction({0, 1, 0, 0.5, 2.0});
+  std::istringstream is(os.str());
+  EXPECT_THROW(load_engine(target, is), PreconditionError);
+}
+
+TEST(EngineSerialization, RejectsCorruptRecords) {
+  TrustEngine engine({}, 3, 1);
+  const std::string header = "gridtrust-trust-engine v1\ndims 3 1\n";
+  {
+    std::istringstream is(header + "rec 0 0 0 4.0 1.0 2\n");  // self trust
+    EXPECT_THROW(load_engine(engine, is), PreconditionError);
+  }
+  {
+    std::istringstream is(header + "rec 0 1 0 9.0 1.0 2\n");  // level > 6
+    EXPECT_THROW(load_engine(engine, is), PreconditionError);
+  }
+  {
+    std::istringstream is(header + "rec 0 1 0 4.0 1.0 0\n");  // zero count
+    EXPECT_THROW(load_engine(engine, is), PreconditionError);
+  }
+  {
+    std::istringstream is(header + "bogus line\n");
+    EXPECT_THROW(load_engine(engine, is), PreconditionError);
+  }
+}
+
+TEST(EngineExport, ImportRecordValidation) {
+  TrustEngine engine({}, 3, 1);
+  TrustEngine::Entry entry;
+  entry.truster = 0;
+  entry.trustee = 9;  // out of range
+  entry.record.count = 1;
+  entry.record.level = 3.0;
+  EXPECT_THROW(engine.import_record(entry), PreconditionError);
+  entry.trustee = 1;
+  entry.record.last_time = -1.0;
+  EXPECT_THROW(engine.import_record(entry), PreconditionError);
+  entry.record.last_time = 0.0;
+  engine.import_record(entry);
+  EXPECT_EQ(engine.transaction_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gridtrust::trust

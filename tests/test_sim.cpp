@@ -1,0 +1,251 @@
+// Tests for the event-driven TRMS and the replicated experiment runner.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/executor.hpp"
+#include "sim/experiment.hpp"
+#include "sim/trm_simulation.hpp"
+
+namespace gridtrust::sim {
+namespace {
+
+sched::SchedulingProblem make_problem(std::uint64_t seed, std::size_t n,
+                                      std::size_t m, double arrival_rate,
+                                      sched::SchedulingPolicy policy) {
+  Rng rng(seed);
+  sched::CostMatrix eec(n, m);
+  sched::TrustCostMatrix tc(n, m);
+  std::vector<double> arrivals(n);
+  double t = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      eec.at(r, c) = rng.uniform(5.0, 50.0);
+      tc.at(r, c) = static_cast<int>(rng.uniform_int(0, 6));
+    }
+    if (arrival_rate > 0) t += rng.exponential(1.0 / arrival_rate);
+    arrivals[r] = t;
+  }
+  return sched::SchedulingProblem(std::move(eec), std::move(tc),
+                                  std::move(policy), sched::SecurityCostModel{},
+                                  std::move(arrivals));
+}
+
+// --------------------------------------------------------------- immediate
+
+TEST(TrmsImmediate, MatchesOfflineExecutor) {
+  // The DES-driven immediate mode with per-arrival dispatch must reproduce
+  // run_immediate exactly (same heuristic, same floors).
+  const auto p =
+      make_problem(1, 30, 4, 1.0, sched::trust_aware_policy());
+  TrmsConfig cfg;
+  cfg.mode = SchedulingMode::kImmediate;
+  cfg.heuristic = "mct";
+  const SimulationResult des_run = run_trms(p, cfg);
+  auto mct = sched::make_mct();
+  const sched::Schedule offline = sched::run_immediate(p, *mct);
+  EXPECT_EQ(des_run.schedule.machine_of, offline.machine_of);
+  EXPECT_NEAR(des_run.makespan, offline.makespan(), 1e-9);
+  EXPECT_EQ(des_run.batches, 0u);
+  EXPECT_EQ(des_run.events, 30u);
+}
+
+TEST(TrmsImmediate, AllHeuristicsProduceCompleteSchedules) {
+  const auto p = make_problem(2, 25, 3, 2.0, sched::trust_unaware_policy());
+  for (const std::string& name : sched::immediate_heuristic_names()) {
+    TrmsConfig cfg;
+    cfg.mode = SchedulingMode::kImmediate;
+    cfg.heuristic = name;
+    const SimulationResult result = run_trms(p, cfg);
+    EXPECT_TRUE(result.schedule.complete()) << name;
+    EXPECT_GT(result.makespan, 0.0) << name;
+  }
+}
+
+TEST(TrmsImmediate, TasksNeverStartBeforeArrival) {
+  const auto p = make_problem(3, 40, 3, 0.2, sched::trust_aware_policy());
+  TrmsConfig cfg;
+  cfg.mode = SchedulingMode::kImmediate;
+  const SimulationResult result = run_trms(p, cfg);
+  for (std::size_t r = 0; r < 40; ++r) {
+    EXPECT_GE(result.schedule.start[r], p.arrival_time(r) - 1e-9);
+  }
+}
+
+// --------------------------------------------------------------- batch
+
+TEST(TrmsImmediate, FlowTimePercentilesAreOrdered) {
+  const auto p = make_problem(9, 60, 4, 1.0, sched::trust_aware_policy());
+  TrmsConfig cfg;
+  const SimulationResult result = run_trms(p, cfg);
+  EXPECT_GT(result.flow_time_p50, 0.0);
+  EXPECT_GE(result.flow_time_p95, result.flow_time_p50);
+  // p95 of flows cannot exceed the span of the schedule.
+  EXPECT_LE(result.flow_time_p95, result.makespan + 1e-9);
+  // The mean sits between the median and the tail for these right-skewed
+  // queueing distributions... at minimum it must be within [min, p95+].
+  EXPECT_GT(result.mean_flow_time, 0.0);
+}
+
+TEST(TrmsBatch, FormsMetaRequestsAtIntervals) {
+  const auto p = make_problem(4, 50, 4, 1.0, sched::trust_aware_policy());
+  TrmsConfig cfg;
+  cfg.mode = SchedulingMode::kBatch;
+  cfg.heuristic = "min-min";
+  cfg.batch_interval = 10.0;
+  const SimulationResult result = run_trms(p, cfg);
+  EXPECT_TRUE(result.schedule.complete());
+  EXPECT_GE(result.batches, 2u);  // 50 arrivals at rate 1 span ~50 s
+  // No task may start before its batch could have formed (the first tick
+  // is at t = batch_interval).
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_GE(result.schedule.start[r], cfg.batch_interval - 1e-9);
+  }
+}
+
+TEST(TrmsBatch, SingleBatchEqualsOfflineBatchRun) {
+  // All requests arrive at time 0 -> exactly one meta-request at the first
+  // tick, equivalent to run_batch_all with ready = interval.
+  const auto p = make_problem(5, 30, 4, 0.0, sched::trust_aware_policy());
+  TrmsConfig cfg;
+  cfg.mode = SchedulingMode::kBatch;
+  cfg.heuristic = "sufferage";
+  cfg.batch_interval = 5.0;
+  const SimulationResult result = run_trms(p, cfg);
+  EXPECT_EQ(result.batches, 1u);
+  auto h = sched::make_sufferage();
+  const sched::Schedule offline = sched::run_batch_all(p, *h, 5.0);
+  EXPECT_EQ(result.schedule.machine_of, offline.machine_of);
+  EXPECT_NEAR(result.makespan, offline.makespan(), 1e-9);
+}
+
+TEST(TrmsBatch, AllBatchHeuristicsComplete) {
+  const auto p = make_problem(6, 30, 4, 1.0, sched::trust_unaware_policy());
+  for (const std::string& name : sched::batch_heuristic_names()) {
+    TrmsConfig cfg;
+    cfg.mode = SchedulingMode::kBatch;
+    cfg.heuristic = name;
+    const SimulationResult result = run_trms(p, cfg);
+    EXPECT_TRUE(result.schedule.complete()) << name;
+  }
+}
+
+TEST(TrmsBatch, RejectsNonPositiveInterval) {
+  const auto p = make_problem(7, 5, 2, 0.0, sched::trust_aware_policy());
+  TrmsConfig cfg;
+  cfg.mode = SchedulingMode::kBatch;
+  cfg.batch_interval = 0.0;
+  EXPECT_THROW(run_trms(p, cfg), PreconditionError);
+}
+
+TEST(Trms, UnknownHeuristicRejected) {
+  const auto p = make_problem(8, 5, 2, 0.0, sched::trust_aware_policy());
+  TrmsConfig cfg;
+  cfg.heuristic = "does-not-exist";
+  EXPECT_THROW(run_trms(p, cfg), PreconditionError);
+}
+
+// --------------------------------------------------------------- experiments
+
+TEST(Experiment, ReproducibleForSeed) {
+  Scenario scenario;
+  scenario.tasks = 30;
+  const ComparisonResult a = run_comparison(scenario, 5, 42);
+  const ComparisonResult b = run_comparison(scenario, 5, 42);
+  EXPECT_EQ(a.unaware.makespan.mean(), b.unaware.makespan.mean());
+  EXPECT_EQ(a.aware.makespan.mean(), b.aware.makespan.mean());
+  EXPECT_EQ(a.improvement_pct, b.improvement_pct);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  Scenario scenario;
+  scenario.tasks = 30;
+  const ComparisonResult a = run_comparison(scenario, 5, 1);
+  const ComparisonResult b = run_comparison(scenario, 5, 2);
+  EXPECT_NE(a.unaware.makespan.mean(), b.unaware.makespan.mean());
+}
+
+TEST(Experiment, ParallelPoolMatchesSerial) {
+  Scenario scenario;
+  scenario.tasks = 25;
+  ThreadPool pool(3);
+  const ComparisonResult serial = run_comparison(scenario, 8, 7);
+  const ComparisonResult parallel = run_comparison(scenario, 8, 7, &pool);
+  EXPECT_EQ(serial.unaware.makespan.mean(), parallel.unaware.makespan.mean());
+  EXPECT_EQ(serial.aware.makespan.mean(), parallel.aware.makespan.mean());
+}
+
+TEST(Experiment, TrustAwareWinsOnAverage) {
+  Scenario scenario;
+  scenario.tasks = 50;
+  const ComparisonResult result = run_comparison(scenario, 20, 11);
+  EXPECT_GT(result.improvement_pct, 0.0);
+  EXPECT_LT(result.aware.makespan.mean(), result.unaware.makespan.mean());
+  EXPECT_TRUE(result.makespan_cmp.significant);
+}
+
+TEST(Experiment, UtilizationIsHighUnderSaturation) {
+  Scenario scenario;
+  scenario.tasks = 100;
+  const ComparisonResult result = run_comparison(scenario, 10, 13);
+  EXPECT_GT(result.unaware.utilization_pct.mean(), 80.0);
+  EXPECT_LE(result.unaware.utilization_pct.mean(), 100.0);
+  EXPECT_GT(result.aware.utilization_pct.mean(), 80.0);
+}
+
+TEST(Experiment, BatchModeScenarioRuns) {
+  Scenario scenario;
+  scenario.tasks = 40;
+  scenario.rms.mode = SchedulingMode::kBatch;
+  scenario.rms.heuristic = "min-min";
+  const ComparisonResult result = run_comparison(scenario, 10, 17);
+  EXPECT_GT(result.improvement_pct, 0.0);
+  EXPECT_GE(result.aware.batches.mean(), 1.0);
+}
+
+TEST(Experiment, RunSingleHonorsPolicy) {
+  Scenario scenario;
+  scenario.tasks = 20;
+  const SimulationResult aware =
+      run_single(scenario, sched::trust_aware_policy(), Rng(3));
+  const SimulationResult unaware =
+      run_single(scenario, sched::trust_unaware_policy(), Rng(3));
+  // Identical instance (same Rng), different policies.
+  EXPECT_NE(aware.makespan, unaware.makespan);
+}
+
+TEST(Experiment, RequiresAtLeastOneReplication) {
+  Scenario scenario;
+  EXPECT_THROW(run_comparison(scenario, 0, 1), PreconditionError);
+}
+
+TEST(Experiment, PaperTableLayout) {
+  Scenario s50;
+  s50.tasks = 50;
+  Scenario s100;
+  s100.tasks = 100;
+  const ComparisonResult r50 = run_comparison(s50, 3, 1);
+  const ComparisonResult r100 = run_comparison(s100, 3, 1);
+  const TextTable table = paper_table("Table X", {r50, r100});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Table X"), std::string::npos);
+  EXPECT_NE(out.find("# of tasks"), std::string::npos);
+  EXPECT_NE(out.find("Using trust"), std::string::npos);
+  EXPECT_NE(out.find("Improvement"), std::string::npos);
+  EXPECT_NE(out.find("50"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  // Two rows per task count plus one separator row between the groups.
+  EXPECT_EQ(table.row_count(), 5u);
+}
+
+TEST(Experiment, SummaryMentionsHeuristicAndImprovement) {
+  Scenario scenario;
+  scenario.tasks = 20;
+  const ComparisonResult result = run_comparison(scenario, 5, 3);
+  const std::string s = summarize(result);
+  EXPECT_NE(s.find("mct"), std::string::npos);
+  EXPECT_NE(s.find("improvement"), std::string::npos);
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridtrust::sim

@@ -1,0 +1,182 @@
+// Tests for workload traces (save/replay) and meta-request formation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sched/executor.hpp"
+#include "sched/problem.hpp"
+#include "sim/trm_simulation.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/request_gen.hpp"
+#include "workload/trace.hpp"
+
+namespace gridtrust::workload {
+namespace {
+
+struct Instance {
+  std::vector<grid::Request> requests;
+  sched::CostMatrix eec{1, 1};
+};
+
+Instance make_instance(std::uint64_t seed, std::size_t tasks = 20) {
+  Rng rng(seed);
+  const grid::GridSystem grid =
+      grid::make_random_grid(grid::RandomGridParams{}, rng);
+  RequestGenParams params;
+  params.arrival_rate = 1.0;
+  Instance out;
+  out.requests = generate_requests(grid, tasks, params, rng);
+  out.eec = generate_eec(tasks, grid.machines().size(), inconsistent_lolo(),
+                         rng);
+  return out;
+}
+
+TEST(Trace, RoundTripPreservesRequestsExactly) {
+  const Instance original = make_instance(1);
+  const Trace restored =
+      trace_from_string(trace_to_string(original.requests, original.eec));
+  ASSERT_EQ(restored.requests.size(), original.requests.size());
+  for (std::size_t i = 0; i < original.requests.size(); ++i) {
+    const grid::Request& a = original.requests[i];
+    const grid::Request& b = restored.requests[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.client, b.client);
+    EXPECT_EQ(a.client_domain, b.client_domain);
+    EXPECT_EQ(a.activities, b.activities);
+    EXPECT_EQ(a.client_rtl, b.client_rtl);
+    EXPECT_EQ(a.resource_rtl, b.resource_rtl);
+    EXPECT_EQ(a.arrival_time, b.arrival_time);  // bit-exact (precision 17)
+  }
+}
+
+TEST(Trace, RoundTripPreservesEecExactly) {
+  const Instance original = make_instance(2);
+  const Trace restored =
+      trace_from_string(trace_to_string(original.requests, original.eec));
+  ASSERT_EQ(restored.eec.rows(), original.eec.rows());
+  ASSERT_EQ(restored.eec.cols(), original.eec.cols());
+  for (std::size_t r = 0; r < original.eec.rows(); ++r) {
+    for (std::size_t m = 0; m < original.eec.cols(); ++m) {
+      EXPECT_EQ(restored.eec.get(r, m), original.eec.get(r, m));
+    }
+  }
+}
+
+TEST(Trace, ReplayedInstanceSchedulesIdentically) {
+  const Instance original = make_instance(3);
+  const Trace restored =
+      trace_from_string(trace_to_string(original.requests, original.eec));
+
+  const auto schedule_of = [](const std::vector<grid::Request>& requests,
+                              const sched::CostMatrix& eec) {
+    sched::TrustCostMatrix tc(requests.size(), eec.cols(), 2);
+    std::vector<double> arrivals;
+    for (const auto& r : requests) arrivals.push_back(r.arrival_time);
+    const sched::SchedulingProblem problem(
+        eec, tc, sched::trust_aware_policy(), sched::SecurityCostModel{},
+        arrivals);
+    auto mct = sched::make_mct();
+    return sched::run_immediate(problem, *mct);
+  };
+  const sched::Schedule a = schedule_of(original.requests, original.eec);
+  const sched::Schedule b = schedule_of(restored.requests, restored.eec);
+  EXPECT_EQ(a.machine_of, b.machine_of);
+  EXPECT_EQ(a.makespan(), b.makespan());
+}
+
+TEST(Trace, RejectsCorruptInput) {
+  EXPECT_THROW(trace_from_string(""), PreconditionError);
+  EXPECT_THROW(trace_from_string("nope\n"), PreconditionError);
+  EXPECT_THROW(trace_from_string("gridtrust-trace v1\ncounts 0 5\n"),
+               PreconditionError);
+  EXPECT_THROW(
+      trace_from_string("gridtrust-trace v1\ncounts 1 2\n"
+                        "req 0 0 0 C D 0.0 1\n"
+                        "eec 0 5.0\n"),  // row too short
+      PreconditionError);
+  EXPECT_THROW(
+      trace_from_string("gridtrust-trace v1\ncounts 1 1\n"
+                        "req 0 0 0 Z D 0.0 1\n"
+                        "eec 0 5.0\n"),  // bad trust level
+      PreconditionError);
+}
+
+TEST(Trace, SaveValidatesShape) {
+  const Instance original = make_instance(4, 5);
+  sched::CostMatrix wrong(3, 2, 1.0);
+  std::ostringstream os;
+  EXPECT_THROW(save_trace(original.requests, wrong, os), PreconditionError);
+  EXPECT_THROW(save_trace({}, wrong, os), PreconditionError);
+}
+
+// ------------------------------------------------------- meta-requests
+
+grid::Request at(double arrival, grid::RequestId id = 0) {
+  grid::Request r;
+  r.id = id;
+  r.activities = {0};
+  r.arrival_time = arrival;
+  return r;
+}
+
+TEST(MetaRequests, GroupsByFormationTick) {
+  const std::vector<grid::Request> requests = {
+      at(0.5, 0), at(9.9, 1), at(10.0, 2), at(10.1, 3), at(25.0, 4)};
+  const auto batches = form_meta_requests(requests, 10.0);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].formed_at, 10.0);
+  EXPECT_EQ(batches[0].size(), 3u);  // 0.5, 9.9, 10.0 (on-tick joins)
+  EXPECT_EQ(batches[1].formed_at, 20.0);
+  EXPECT_EQ(batches[1].size(), 1u);
+  EXPECT_EQ(batches[2].formed_at, 30.0);
+  EXPECT_EQ(batches[2].size(), 1u);
+}
+
+TEST(MetaRequests, EmptyIntervalsProduceNoBatches) {
+  const auto batches =
+      form_meta_requests({at(1.0), at(100.0)}, 10.0);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].batch_index, 0u);
+  EXPECT_EQ(batches[1].batch_index, 9u);
+  EXPECT_EQ(batches[1].formed_at, 100.0);
+}
+
+TEST(MetaRequests, ArrivalAtZeroJoinsFirstBatch) {
+  const auto batches = form_meta_requests({at(0.0)}, 5.0);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].formed_at, 5.0);
+  EXPECT_FALSE(batches[0].empty());
+}
+
+TEST(MetaRequests, MatchesBatchSimulatorBatchCount) {
+  // The analytic grouping must agree with the event-driven RMS.
+  const Instance inst = make_instance(7, 40);
+  const double interval = 15.0;
+  const auto batches = form_meta_requests(inst.requests, interval);
+
+  sched::TrustCostMatrix tc(inst.requests.size(), inst.eec.cols(), 0);
+  std::vector<double> arrivals;
+  for (const auto& r : inst.requests) arrivals.push_back(r.arrival_time);
+  const sched::SchedulingProblem problem(
+      inst.eec, tc, sched::trust_aware_policy(), sched::SecurityCostModel{},
+      arrivals);
+  sim::TrmsConfig cfg;
+  cfg.mode = sim::SchedulingMode::kBatch;
+  cfg.heuristic = "min-min";
+  cfg.batch_interval = interval;
+  const sim::SimulationResult result = sim::run_trms(problem, cfg);
+  EXPECT_EQ(result.batches, batches.size());
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  EXPECT_EQ(total, inst.requests.size());
+}
+
+TEST(MetaRequests, Validation) {
+  EXPECT_THROW(form_meta_requests({at(1.0)}, 0.0), PreconditionError);
+  EXPECT_THROW(form_meta_requests({at(5.0, 0), at(1.0, 1)}, 10.0),
+               PreconditionError);  // unsorted arrivals
+}
+
+}  // namespace
+}  // namespace gridtrust::workload

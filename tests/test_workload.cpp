@@ -1,0 +1,304 @@
+// Tests for workload generation: heterogeneous EEC matrices and the §5.3
+// request generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sched/executor.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/request_gen.hpp"
+
+namespace gridtrust::workload {
+namespace {
+
+// ---------------------------------------------------------------- EEC gen
+
+TEST(Heterogeneity, PresetLabels) {
+  EXPECT_EQ(to_string(consistent_lolo()), "consistent LoLo");
+  EXPECT_EQ(to_string(inconsistent_lolo()), "inconsistent LoLo");
+  HeterogeneityParams hihi;
+  hihi.task = Heterogeneity::kHigh;
+  hihi.machine = Heterogeneity::kHigh;
+  hihi.consistency = Consistency::kSemiConsistent;
+  EXPECT_EQ(to_string(hihi), "semi-consistent HiHi");
+}
+
+TEST(Heterogeneity, ValuesWithinAnalyticBounds) {
+  Rng rng(1);
+  const sched::CostMatrix eec = generate_eec(100, 8, inconsistent_lolo(), rng);
+  for (std::size_t r = 0; r < eec.rows(); ++r) {
+    for (std::size_t m = 0; m < eec.cols(); ++m) {
+      EXPECT_GE(eec.get(r, m), 1.0);
+      EXPECT_LT(eec.get(r, m), 100.0 * 10.0);
+    }
+  }
+}
+
+TEST(Heterogeneity, ConsistentRowsAreSorted) {
+  Rng rng(2);
+  const sched::CostMatrix eec = generate_eec(50, 6, consistent_lolo(), rng);
+  for (std::size_t r = 0; r < eec.rows(); ++r) {
+    for (std::size_t m = 1; m < eec.cols(); ++m) {
+      EXPECT_LE(eec.get(r, m - 1), eec.get(r, m));
+    }
+  }
+  EXPECT_NEAR(consistency_index(eec), 1.0, 1e-12);
+}
+
+TEST(Heterogeneity, InconsistentMatrixHasLowConsistencyIndex) {
+  Rng rng(3);
+  const sched::CostMatrix eec = generate_eec(60, 8, inconsistent_lolo(), rng);
+  EXPECT_LT(consistency_index(eec), 0.2);
+}
+
+TEST(Heterogeneity, SemiConsistentSortsEvenColumns) {
+  Rng rng(4);
+  HeterogeneityParams params = inconsistent_lolo();
+  params.consistency = Consistency::kSemiConsistent;
+  const sched::CostMatrix eec = generate_eec(40, 7, params, rng);
+  for (std::size_t r = 0; r < eec.rows(); ++r) {
+    for (std::size_t m = 2; m < eec.cols(); m += 2) {
+      EXPECT_LE(eec.get(r, m - 2), eec.get(r, m));
+    }
+  }
+}
+
+TEST(Heterogeneity, HighTaskHeterogeneityRaisesTaskCv) {
+  Rng rng(5);
+  HeterogeneityParams lo = inconsistent_lolo();
+  HeterogeneityParams hi = lo;
+  hi.task = Heterogeneity::kHigh;
+  const auto m_lo = measure_heterogeneity(generate_eec(200, 8, lo, rng));
+  const auto m_hi = measure_heterogeneity(generate_eec(200, 8, hi, rng));
+  EXPECT_GT(m_hi.task_cv, m_lo.task_cv);
+}
+
+TEST(Heterogeneity, HighMachineHeterogeneityRaisesMachineCv) {
+  Rng rng(6);
+  HeterogeneityParams lo = inconsistent_lolo();
+  HeterogeneityParams hi = lo;
+  hi.machine = Heterogeneity::kHigh;
+  const auto m_lo = measure_heterogeneity(generate_eec(200, 8, lo, rng));
+  const auto m_hi = measure_heterogeneity(generate_eec(200, 8, hi, rng));
+  EXPECT_GT(m_hi.machine_cv, m_lo.machine_cv);
+}
+
+TEST(Heterogeneity, Validation) {
+  Rng rng(7);
+  EXPECT_THROW(generate_eec(0, 5, inconsistent_lolo(), rng),
+               PreconditionError);
+  HeterogeneityParams bad = inconsistent_lolo();
+  bad.low_task_range = 1.0;
+  EXPECT_THROW(generate_eec(5, 5, bad, rng), PreconditionError);
+}
+
+TEST(Heterogeneity, DeterministicForSeed) {
+  Rng a(8);
+  Rng b(8);
+  const auto m1 = generate_eec(20, 5, inconsistent_lolo(), a);
+  const auto m2 = generate_eec(20, 5, inconsistent_lolo(), b);
+  EXPECT_EQ(m1.data(), m2.data());
+}
+
+// ---------------------------------------------------------------- requests
+
+grid::GridSystem test_grid(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return grid::make_random_grid(grid::RandomGridParams{}, rng);
+}
+
+TEST(RequestGen, RespectsPaperRanges) {
+  const grid::GridSystem grid = test_grid();
+  Rng rng(10);
+  RequestGenParams params;  // ToAs U[1,4], RTL U[1,6]
+  const auto requests = generate_requests(grid, 500, params, rng);
+  ASSERT_EQ(requests.size(), 500u);
+  std::set<std::size_t> toa_counts;
+  std::set<int> rtls;
+  for (const grid::Request& r : requests) {
+    EXPECT_LT(r.client_domain, grid.client_domains().size());
+    EXPECT_GE(r.activities.size(), 1u);
+    EXPECT_LE(r.activities.size(), 4u);
+    toa_counts.insert(r.activities.size());
+    rtls.insert(trust::to_numeric(r.client_rtl));
+    rtls.insert(trust::to_numeric(r.resource_rtl));
+    // Activities are distinct and sorted.
+    for (std::size_t i = 1; i < r.activities.size(); ++i) {
+      EXPECT_LT(r.activities[i - 1], r.activities[i]);
+    }
+    EXPECT_EQ(r.arrival_time, 0.0);  // arrival_rate defaults to 0
+  }
+  EXPECT_EQ(toa_counts.size(), 4u);  // all counts 1..4 appear
+  EXPECT_EQ(rtls.size(), 6u);        // all levels A..F appear
+}
+
+TEST(RequestGen, RequestsComeFromRealClients) {
+  const grid::GridSystem grid = test_grid();  // 3 clients per CD by default
+  ASSERT_FALSE(grid.clients().empty());
+  Rng rng(30);
+  const auto requests = generate_requests(grid, 200, {}, rng);
+  std::set<grid::ClientId> seen;
+  for (const grid::Request& r : requests) {
+    ASSERT_LT(r.client, grid.clients().size());
+    // c(r)'s domain and the request's domain must agree.
+    EXPECT_EQ(grid.client(r.client).client_domain, r.client_domain);
+    seen.insert(r.client);
+  }
+  EXPECT_GT(seen.size(), 1u);  // multiple distinct clients submit
+}
+
+TEST(RequestGen, RequestIdsAreDense) {
+  const grid::GridSystem grid = test_grid();
+  Rng rng(11);
+  const auto requests = generate_requests(grid, 20, {}, rng);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].id, i);
+  }
+}
+
+TEST(RequestGen, PoissonArrivalsAreMonotoneWithCorrectMean) {
+  const grid::GridSystem grid = test_grid();
+  Rng rng(12);
+  RequestGenParams params;
+  params.arrival_rate = 2.0;
+  const auto requests = generate_requests(grid, 20000, params, rng);
+  double last = 0.0;
+  for (const grid::Request& r : requests) {
+    EXPECT_GE(r.arrival_time, last);
+    last = r.arrival_time;
+  }
+  // Mean inter-arrival ~ 1/2.
+  EXPECT_NEAR(last / 20000.0, 0.5, 0.02);
+}
+
+TEST(RequestGen, Validation) {
+  const grid::GridSystem grid = test_grid();
+  Rng rng(13);
+  EXPECT_THROW(generate_requests(grid, 0, {}, rng), PreconditionError);
+  RequestGenParams bad;
+  bad.min_activities = 0;
+  EXPECT_THROW(generate_requests(grid, 1, bad, rng), PreconditionError);
+  bad = RequestGenParams{};
+  bad.max_activities = 99;
+  EXPECT_THROW(generate_requests(grid, 1, bad, rng), PreconditionError);
+  bad = RequestGenParams{};
+  bad.min_rtl = 0;
+  EXPECT_THROW(generate_requests(grid, 1, bad, rng), PreconditionError);
+}
+
+TEST(RequestGen, RtlRangeIsConfigurable) {
+  const grid::GridSystem grid = test_grid();
+  Rng rng(14);
+  RequestGenParams params;
+  params.min_rtl = 2;
+  params.max_rtl = 3;
+  const auto requests = generate_requests(grid, 200, params, rng);
+  for (const grid::Request& r : requests) {
+    EXPECT_GE(trust::to_numeric(r.client_rtl), 2);
+    EXPECT_LE(trust::to_numeric(r.client_rtl), 3);
+  }
+}
+
+// ---------------------------------------------------------------- deadlines
+
+TEST(Deadlines, DrawnAfterArrivalWithSlackTimesBestEec) {
+  const grid::GridSystem grid = test_grid();
+  Rng rng(20);
+  RequestGenParams params;
+  params.arrival_rate = 1.0;
+  const auto requests = generate_requests(grid, 50, params, rng);
+  const auto eec =
+      generate_eec(50, grid.machines().size(), inconsistent_lolo(), rng);
+  const auto deadlines = draw_deadlines(requests, eec, 2.0, 6.0, rng);
+  ASSERT_EQ(deadlines.size(), 50u);
+  for (std::size_t r = 0; r < 50; ++r) {
+    double best = eec.get(r, 0);
+    for (std::size_t m = 1; m < eec.cols(); ++m) {
+      best = std::min(best, eec.get(r, m));
+    }
+    EXPECT_GE(deadlines[r], requests[r].arrival_time + 2.0 * best - 1e-9);
+    EXPECT_LE(deadlines[r], requests[r].arrival_time + 6.0 * best + 1e-9);
+  }
+}
+
+TEST(Deadlines, MissFractionCountsLateCompletions) {
+  sched::CostMatrix eec(3, 1, 10.0);
+  sched::TrustCostMatrix tc(3, 1, 0);
+  const sched::SchedulingProblem p(eec, tc, sched::trust_aware_policy(),
+                                   sched::SecurityCostModel{});
+  sched::Schedule s = sched::Schedule::for_problem(p);
+  sched::commit_assignment(p, 0, 0, 0.0, s);  // completes 10
+  sched::commit_assignment(p, 1, 0, 0.0, s);  // completes 20
+  sched::commit_assignment(p, 2, 0, 0.0, s);  // completes 30
+  EXPECT_NEAR(deadline_miss_fraction(s, {15.0, 15.0, 35.0}), 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(deadline_miss_fraction(s, {10.0, 20.0, 30.0}), 0.0, 1e-12);
+}
+
+TEST(Deadlines, Validation) {
+  const grid::GridSystem grid = test_grid();
+  Rng rng(21);
+  const auto requests = generate_requests(grid, 5, {}, rng);
+  const auto eec =
+      generate_eec(5, grid.machines().size(), inconsistent_lolo(), rng);
+  EXPECT_THROW(draw_deadlines(requests, eec, 0.5, 2.0, rng),
+               PreconditionError);  // slack < 1
+  EXPECT_THROW(draw_deadlines(requests, eec, 4.0, 2.0, rng),
+               PreconditionError);  // inverted range
+  sched::CostMatrix wrong(3, 2, 1.0);
+  EXPECT_THROW(draw_deadlines(requests, wrong, 2.0, 4.0, rng),
+               PreconditionError);
+  sched::TrustCostMatrix tc(5, eec.cols(), 0);
+  const sched::SchedulingProblem p(eec, tc, sched::trust_aware_policy(),
+                                   sched::SecurityCostModel{});
+  const sched::Schedule incomplete = sched::Schedule::for_problem(p);
+  EXPECT_THROW(deadline_miss_fraction(incomplete, std::vector<double>(5, 1.0)),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(RandomTrustTable, PairLevelSharesAcrossActivities) {
+  const grid::GridSystem grid = test_grid(3);
+  Rng rng(15);
+  const trust::TrustLevelTable table =
+      random_trust_table(grid, rng, TableCorrelation::kPairLevel);
+  for (std::size_t cd = 0; cd < table.client_domains(); ++cd) {
+    for (std::size_t rd = 0; rd < table.resource_domains(); ++rd) {
+      const trust::TrustLevel base = table.get(cd, rd, 0);
+      for (std::size_t act = 1; act < table.activities(); ++act) {
+        EXPECT_EQ(table.get(cd, rd, act), base);
+      }
+    }
+  }
+}
+
+TEST(RandomTrustTable, PairLevelCoversOfferedRange) {
+  std::set<int> seen;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const grid::GridSystem grid = test_grid(seed);
+    Rng rng(seed + 1000);
+    const trust::TrustLevelTable table =
+        random_trust_table(grid, rng, TableCorrelation::kPairLevel);
+    seen.insert(trust::to_numeric(table.get(0, 0, 0)));
+  }
+  EXPECT_EQ(seen, (std::set<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(RandomTrustTable, IndependentModeVariesAcrossActivities) {
+  const grid::GridSystem grid = test_grid(3);
+  Rng rng(16);
+  const trust::TrustLevelTable table = random_trust_table(
+      grid, rng, TableCorrelation::kIndependentPerActivity);
+  // With 8 activities per pair, all-equal entries are vanishingly unlikely.
+  bool varies = false;
+  for (std::size_t act = 1; act < table.activities() && !varies; ++act) {
+    varies = table.get(0, 0, act) != table.get(0, 0, 0);
+  }
+  EXPECT_TRUE(varies);
+}
+
+}  // namespace
+}  // namespace gridtrust::workload
