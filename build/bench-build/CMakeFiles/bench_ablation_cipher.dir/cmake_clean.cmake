@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cipher"
+  "../bench/bench_ablation_cipher.pdb"
+  "CMakeFiles/bench_ablation_cipher.dir/bench_ablation_cipher.cpp.o"
+  "CMakeFiles/bench_ablation_cipher.dir/bench_ablation_cipher.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_interpretation"
+  "../bench/bench_ablation_interpretation.pdb"
+  "CMakeFiles/bench_ablation_interpretation.dir/bench_ablation_interpretation.cpp.o"
+  "CMakeFiles/bench_ablation_interpretation.dir/bench_ablation_interpretation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_trust_weight"
+  "../bench/bench_ablation_trust_weight.pdb"
+  "CMakeFiles/bench_ablation_trust_weight.dir/bench_ablation_trust_weight.cpp.o"
+  "CMakeFiles/bench_ablation_trust_weight.dir/bench_ablation_trust_weight.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trust_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_all_heuristics"
+  "../bench/bench_all_heuristics.pdb"
+  "CMakeFiles/bench_all_heuristics.dir/bench_all_heuristics.cpp.o"
+  "CMakeFiles/bench_all_heuristics.dir/bench_all_heuristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

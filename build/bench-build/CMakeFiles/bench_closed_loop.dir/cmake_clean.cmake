@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_closed_loop"
+  "../bench/bench_closed_loop.pdb"
+  "CMakeFiles/bench_closed_loop.dir/bench_closed_loop.cpp.o"
+  "CMakeFiles/bench_closed_loop.dir/bench_closed_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_compromise"
+  "../bench/bench_compromise.pdb"
+  "CMakeFiles/bench_compromise.dir/bench_compromise.cpp.o"
+  "CMakeFiles/bench_compromise.dir/bench_compromise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compromise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deadlines"
+  "../bench/bench_deadlines.pdb"
+  "CMakeFiles/bench_deadlines.dir/bench_deadlines.cpp.o"
+  "CMakeFiles/bench_deadlines.dir/bench_deadlines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

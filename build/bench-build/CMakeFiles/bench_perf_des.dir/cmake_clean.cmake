@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_des"
+  "../bench/bench_perf_des.pdb"
+  "CMakeFiles/bench_perf_des.dir/bench_perf_des.cpp.o"
+  "CMakeFiles/bench_perf_des.dir/bench_perf_des.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

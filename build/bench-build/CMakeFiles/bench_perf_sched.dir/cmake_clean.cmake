@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_sched"
+  "../bench/bench_perf_sched.pdb"
+  "CMakeFiles/bench_perf_sched.dir/bench_perf_sched.cpp.o"
+  "CMakeFiles/bench_perf_sched.dir/bench_perf_sched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_trust"
+  "../bench/bench_perf_trust.pdb"
+  "CMakeFiles/bench_perf_trust.dir/bench_perf_trust.cpp.o"
+  "CMakeFiles/bench_perf_trust.dir/bench_perf_trust.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sfi_overhead"
+  "../bench/bench_sfi_overhead.pdb"
+  "CMakeFiles/bench_sfi_overhead.dir/bench_sfi_overhead.cpp.o"
+  "CMakeFiles/bench_sfi_overhead.dir/bench_sfi_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfi_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

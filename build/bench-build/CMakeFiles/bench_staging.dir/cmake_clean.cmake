@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_staging"
+  "../bench/bench_staging.pdb"
+  "CMakeFiles/bench_staging.dir/bench_staging.cpp.o"
+  "CMakeFiles/bench_staging.dir/bench_staging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

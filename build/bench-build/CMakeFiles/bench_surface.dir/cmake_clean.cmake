@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_surface"
+  "../bench/bench_surface.pdb"
+  "CMakeFiles/bench_surface.dir/bench_surface.cpp.o"
+  "CMakeFiles/bench_surface.dir/bench_surface.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

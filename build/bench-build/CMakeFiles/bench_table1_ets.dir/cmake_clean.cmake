@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_ets"
+  "../bench/bench_table1_ets.pdb"
+  "CMakeFiles/bench_table1_ets.dir/bench_table1_ets.cpp.o"
+  "CMakeFiles/bench_table1_ets.dir/bench_table1_ets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

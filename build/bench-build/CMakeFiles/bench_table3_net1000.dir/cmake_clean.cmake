@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_net1000"
+  "../bench/bench_table3_net1000.pdb"
+  "CMakeFiles/bench_table3_net1000.dir/bench_table3_net1000.cpp.o"
+  "CMakeFiles/bench_table3_net1000.dir/bench_table3_net1000.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_net1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

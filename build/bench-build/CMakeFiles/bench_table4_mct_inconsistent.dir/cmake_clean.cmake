@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_mct_inconsistent"
+  "../bench/bench_table4_mct_inconsistent.pdb"
+  "CMakeFiles/bench_table4_mct_inconsistent.dir/bench_table4_mct_inconsistent.cpp.o"
+  "CMakeFiles/bench_table4_mct_inconsistent.dir/bench_table4_mct_inconsistent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mct_inconsistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

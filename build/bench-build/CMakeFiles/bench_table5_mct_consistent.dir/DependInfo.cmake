@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_mct_consistent.cpp" "bench-build/CMakeFiles/bench_table5_mct_consistent.dir/bench_table5_mct_consistent.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table5_mct_consistent.dir/bench_table5_mct_consistent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/gridtrust_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridtrust_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gridtrust_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gridtrust_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gridtrust_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gridtrust_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridtrust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gridtrust_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfi/CMakeFiles/gridtrust_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gridtrust_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_mct_consistent"
+  "../bench/bench_table5_mct_consistent.pdb"
+  "CMakeFiles/bench_table5_mct_consistent.dir/bench_table5_mct_consistent.cpp.o"
+  "CMakeFiles/bench_table5_mct_consistent.dir/bench_table5_mct_consistent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_mct_consistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_min_min_inconsistent"
+  "../bench/bench_table6_min_min_inconsistent.pdb"
+  "CMakeFiles/bench_table6_min_min_inconsistent.dir/bench_table6_min_min_inconsistent.cpp.o"
+  "CMakeFiles/bench_table6_min_min_inconsistent.dir/bench_table6_min_min_inconsistent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_min_min_inconsistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_sufferage_inconsistent"
+  "../bench/bench_table8_sufferage_inconsistent.pdb"
+  "CMakeFiles/bench_table8_sufferage_inconsistent.dir/bench_table8_sufferage_inconsistent.cpp.o"
+  "CMakeFiles/bench_table8_sufferage_inconsistent.dir/bench_table8_sufferage_inconsistent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_sufferage_inconsistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_sufferage_consistent"
+  "../bench/bench_table9_sufferage_consistent.pdb"
+  "CMakeFiles/bench_table9_sufferage_consistent.dir/bench_table9_sufferage_consistent.cpp.o"
+  "CMakeFiles/bench_table9_sufferage_consistent.dir/bench_table9_sufferage_consistent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_sufferage_consistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

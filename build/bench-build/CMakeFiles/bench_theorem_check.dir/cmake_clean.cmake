@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem_check"
+  "../bench/bench_theorem_check.pdb"
+  "CMakeFiles/bench_theorem_check.dir/bench_theorem_check.cpp.o"
+  "CMakeFiles/bench_theorem_check.dir/bench_theorem_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trust_evolution"
+  "../bench/bench_trust_evolution.pdb"
+  "CMakeFiles/bench_trust_evolution.dir/bench_trust_evolution.cpp.o"
+  "CMakeFiles/bench_trust_evolution.dir/bench_trust_evolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trust_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

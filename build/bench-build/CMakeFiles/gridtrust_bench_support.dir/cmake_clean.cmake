@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_bench_support.dir/support.cpp.o"
+  "CMakeFiles/gridtrust_bench_support.dir/support.cpp.o.d"
+  "libgridtrust_bench_support.a"
+  "libgridtrust_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridtrust_bench_support.a"
+)

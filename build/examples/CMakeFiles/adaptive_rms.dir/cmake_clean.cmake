@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_rms.dir/adaptive_rms.cpp.o"
+  "CMakeFiles/adaptive_rms.dir/adaptive_rms.cpp.o.d"
+  "adaptive_rms"
+  "adaptive_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

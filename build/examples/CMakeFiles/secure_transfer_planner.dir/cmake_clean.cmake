@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_transfer_planner.dir/secure_transfer_planner.cpp.o"
+  "CMakeFiles/secure_transfer_planner.dir/secure_transfer_planner.cpp.o.d"
+  "secure_transfer_planner"
+  "secure_transfer_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_transfer_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

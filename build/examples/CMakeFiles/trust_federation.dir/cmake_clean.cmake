@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_federation.dir/trust_federation.cpp.o"
+  "CMakeFiles/trust_federation.dir/trust_federation.cpp.o.d"
+  "trust_federation"
+  "trust_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_common.dir/cli.cpp.o"
+  "CMakeFiles/gridtrust_common.dir/cli.cpp.o.d"
+  "CMakeFiles/gridtrust_common.dir/error.cpp.o"
+  "CMakeFiles/gridtrust_common.dir/error.cpp.o.d"
+  "CMakeFiles/gridtrust_common.dir/log.cpp.o"
+  "CMakeFiles/gridtrust_common.dir/log.cpp.o.d"
+  "CMakeFiles/gridtrust_common.dir/rng.cpp.o"
+  "CMakeFiles/gridtrust_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gridtrust_common.dir/stats.cpp.o"
+  "CMakeFiles/gridtrust_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gridtrust_common.dir/table.cpp.o"
+  "CMakeFiles/gridtrust_common.dir/table.cpp.o.d"
+  "CMakeFiles/gridtrust_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gridtrust_common.dir/thread_pool.cpp.o.d"
+  "libgridtrust_common.a"
+  "libgridtrust_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_des.dir/arrival.cpp.o"
+  "CMakeFiles/gridtrust_des.dir/arrival.cpp.o.d"
+  "CMakeFiles/gridtrust_des.dir/simulator.cpp.o"
+  "CMakeFiles/gridtrust_des.dir/simulator.cpp.o.d"
+  "libgridtrust_des.a"
+  "libgridtrust_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

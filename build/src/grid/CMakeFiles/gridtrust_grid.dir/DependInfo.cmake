@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/activity.cpp" "src/grid/CMakeFiles/gridtrust_grid.dir/activity.cpp.o" "gcc" "src/grid/CMakeFiles/gridtrust_grid.dir/activity.cpp.o.d"
+  "/root/repo/src/grid/grid_system.cpp" "src/grid/CMakeFiles/gridtrust_grid.dir/grid_system.cpp.o" "gcc" "src/grid/CMakeFiles/gridtrust_grid.dir/grid_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridtrust_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gridtrust_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gridtrust_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_grid.dir/activity.cpp.o"
+  "CMakeFiles/gridtrust_grid.dir/activity.cpp.o.d"
+  "CMakeFiles/gridtrust_grid.dir/grid_system.cpp.o"
+  "CMakeFiles/gridtrust_grid.dir/grid_system.cpp.o.d"
+  "libgridtrust_grid.a"
+  "libgridtrust_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

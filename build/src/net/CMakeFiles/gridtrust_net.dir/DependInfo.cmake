@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link_sim.cpp" "src/net/CMakeFiles/gridtrust_net.dir/link_sim.cpp.o" "gcc" "src/net/CMakeFiles/gridtrust_net.dir/link_sim.cpp.o.d"
+  "/root/repo/src/net/report.cpp" "src/net/CMakeFiles/gridtrust_net.dir/report.cpp.o" "gcc" "src/net/CMakeFiles/gridtrust_net.dir/report.cpp.o.d"
+  "/root/repo/src/net/transfer_model.cpp" "src/net/CMakeFiles/gridtrust_net.dir/transfer_model.cpp.o" "gcc" "src/net/CMakeFiles/gridtrust_net.dir/transfer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridtrust_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gridtrust_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_net.dir/link_sim.cpp.o"
+  "CMakeFiles/gridtrust_net.dir/link_sim.cpp.o.d"
+  "CMakeFiles/gridtrust_net.dir/report.cpp.o"
+  "CMakeFiles/gridtrust_net.dir/report.cpp.o.d"
+  "CMakeFiles/gridtrust_net.dir/transfer_model.cpp.o"
+  "CMakeFiles/gridtrust_net.dir/transfer_model.cpp.o.d"
+  "libgridtrust_net.a"
+  "libgridtrust_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/batch.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/batch.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/batch.cpp.o.d"
+  "/root/repo/src/sched/executor.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/executor.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/executor.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/genetic.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/genetic.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/genetic.cpp.o.d"
+  "/root/repo/src/sched/immediate.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/immediate.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/immediate.cpp.o.d"
+  "/root/repo/src/sched/local_search.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/local_search.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/local_search.cpp.o.d"
+  "/root/repo/src/sched/problem.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/problem.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/problem.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/security_model.cpp" "src/sched/CMakeFiles/gridtrust_sched.dir/security_model.cpp.o" "gcc" "src/sched/CMakeFiles/gridtrust_sched.dir/security_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridtrust_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gridtrust_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gridtrust_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gridtrust_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_sched.dir/batch.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/batch.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/executor.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/executor.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/gantt.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/genetic.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/genetic.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/immediate.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/immediate.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/local_search.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/local_search.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/problem.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/problem.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/schedule.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/gridtrust_sched.dir/security_model.cpp.o"
+  "CMakeFiles/gridtrust_sched.dir/security_model.cpp.o.d"
+  "libgridtrust_sched.a"
+  "libgridtrust_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfi/harness.cpp" "src/sfi/CMakeFiles/gridtrust_sfi.dir/harness.cpp.o" "gcc" "src/sfi/CMakeFiles/gridtrust_sfi.dir/harness.cpp.o.d"
+  "/root/repo/src/sfi/md5.cpp" "src/sfi/CMakeFiles/gridtrust_sfi.dir/md5.cpp.o" "gcc" "src/sfi/CMakeFiles/gridtrust_sfi.dir/md5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridtrust_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_sfi.dir/harness.cpp.o"
+  "CMakeFiles/gridtrust_sfi.dir/harness.cpp.o.d"
+  "CMakeFiles/gridtrust_sfi.dir/md5.cpp.o"
+  "CMakeFiles/gridtrust_sfi.dir/md5.cpp.o.d"
+  "libgridtrust_sfi.a"
+  "libgridtrust_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/closed_loop.cpp" "src/sim/CMakeFiles/gridtrust_sim.dir/closed_loop.cpp.o" "gcc" "src/sim/CMakeFiles/gridtrust_sim.dir/closed_loop.cpp.o.d"
+  "/root/repo/src/sim/distributed.cpp" "src/sim/CMakeFiles/gridtrust_sim.dir/distributed.cpp.o" "gcc" "src/sim/CMakeFiles/gridtrust_sim.dir/distributed.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/gridtrust_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/gridtrust_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/staging.cpp" "src/sim/CMakeFiles/gridtrust_sim.dir/staging.cpp.o" "gcc" "src/sim/CMakeFiles/gridtrust_sim.dir/staging.cpp.o.d"
+  "/root/repo/src/sim/trm_simulation.cpp" "src/sim/CMakeFiles/gridtrust_sim.dir/trm_simulation.cpp.o" "gcc" "src/sim/CMakeFiles/gridtrust_sim.dir/trm_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridtrust_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gridtrust_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gridtrust_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridtrust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gridtrust_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gridtrust_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gridtrust_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

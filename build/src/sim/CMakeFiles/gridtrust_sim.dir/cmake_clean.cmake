@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_sim.dir/closed_loop.cpp.o"
+  "CMakeFiles/gridtrust_sim.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/gridtrust_sim.dir/distributed.cpp.o"
+  "CMakeFiles/gridtrust_sim.dir/distributed.cpp.o.d"
+  "CMakeFiles/gridtrust_sim.dir/experiment.cpp.o"
+  "CMakeFiles/gridtrust_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/gridtrust_sim.dir/staging.cpp.o"
+  "CMakeFiles/gridtrust_sim.dir/staging.cpp.o.d"
+  "CMakeFiles/gridtrust_sim.dir/trm_simulation.cpp.o"
+  "CMakeFiles/gridtrust_sim.dir/trm_simulation.cpp.o.d"
+  "libgridtrust_sim.a"
+  "libgridtrust_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

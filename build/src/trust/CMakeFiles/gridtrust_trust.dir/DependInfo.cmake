@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/agents.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/agents.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/agents.cpp.o.d"
+  "/root/repo/src/trust/alliance.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/alliance.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/alliance.cpp.o.d"
+  "/root/repo/src/trust/beta_reputation.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/beta_reputation.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/beta_reputation.cpp.o.d"
+  "/root/repo/src/trust/decay.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/decay.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/decay.cpp.o.d"
+  "/root/repo/src/trust/ets.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/ets.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/ets.cpp.o.d"
+  "/root/repo/src/trust/manager.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/manager.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/manager.cpp.o.d"
+  "/root/repo/src/trust/report.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/report.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/report.cpp.o.d"
+  "/root/repo/src/trust/serialization.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/serialization.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/serialization.cpp.o.d"
+  "/root/repo/src/trust/trust_engine.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/trust_engine.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/trust_engine.cpp.o.d"
+  "/root/repo/src/trust/trust_level.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/trust_level.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/trust_level.cpp.o.d"
+  "/root/repo/src/trust/trust_table.cpp" "src/trust/CMakeFiles/gridtrust_trust.dir/trust_table.cpp.o" "gcc" "src/trust/CMakeFiles/gridtrust_trust.dir/trust_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridtrust_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gridtrust_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

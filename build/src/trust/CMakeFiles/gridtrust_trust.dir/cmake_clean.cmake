@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_trust.dir/agents.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/agents.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/alliance.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/alliance.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/beta_reputation.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/beta_reputation.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/decay.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/decay.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/ets.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/ets.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/manager.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/manager.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/report.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/report.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/serialization.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/serialization.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/trust_engine.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/trust_engine.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/trust_level.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/trust_level.cpp.o.d"
+  "CMakeFiles/gridtrust_trust.dir/trust_table.cpp.o"
+  "CMakeFiles/gridtrust_trust.dir/trust_table.cpp.o.d"
+  "libgridtrust_trust.a"
+  "libgridtrust_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

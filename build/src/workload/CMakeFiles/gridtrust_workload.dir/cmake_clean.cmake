@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridtrust_workload.dir/heterogeneity.cpp.o"
+  "CMakeFiles/gridtrust_workload.dir/heterogeneity.cpp.o.d"
+  "CMakeFiles/gridtrust_workload.dir/request_gen.cpp.o"
+  "CMakeFiles/gridtrust_workload.dir/request_gen.cpp.o.d"
+  "CMakeFiles/gridtrust_workload.dir/trace.cpp.o"
+  "CMakeFiles/gridtrust_workload.dir/trace.cpp.o.d"
+  "libgridtrust_workload.a"
+  "libgridtrust_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridtrust_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beta.dir/test_beta.cpp.o"
+  "CMakeFiles/test_beta.dir/test_beta.cpp.o.d"
+  "test_beta"
+  "test_beta.pdb"
+  "test_beta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
