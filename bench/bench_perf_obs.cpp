@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark): observability overhead.
+//
+// The contract of gridtrust::obs is "free when off, cheap when on":
+// disabled recording is one relaxed atomic load and a branch, and an
+// installed registry must cost < 3 % on the DES schedule/execute workloads
+// of bench_perf_des.  This file measures both sides:
+//
+//   BM_DesWorkload/0        metrics disabled (the bench_perf_des baseline)
+//   BM_DesWorkload/1        registry installed
+//   BM_CounterAdd{Off,On}   raw per-record cost of the hot path
+//   BM_HistogramObserveOn   bucket search + atomics per observation
+//   BM_SnapshotMerge        reader-side merge cost per snapshot
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace gridtrust;
+
+/// The bench_perf_des BM_ScheduleAndRun workload, parameterized on whether
+/// a registry is installed (state.range(1) != 0).
+void BM_DesWorkload(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  if (state.range(1) != 0) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    obs::install(registry.get());
+  }
+  for (auto _ : state) {
+    des::Simulator sim;
+    Rng rng(1);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(rng.uniform(0.0, 1000.0), [&sum] { ++sum; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  obs::install(nullptr);
+}
+
+void BM_CounterAddOff(benchmark::State& state) {
+  static const obs::Counter counter("bench.counter_off");
+  obs::install(nullptr);
+  for (auto _ : state) {
+    counter.add();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CounterAddOn(benchmark::State& state) {
+  static const obs::Counter counter("bench.counter_on");
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  for (auto _ : state) {
+    counter.add();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  obs::install(nullptr);
+}
+
+void BM_HistogramObserveOn(benchmark::State& state) {
+  static const obs::Histogram hist("bench.hist_on",
+                                   obs::duration_bounds_ns());
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  double v = 100.0;
+  for (auto _ : state) {
+    hist.observe(v);
+    v = v < 1e8 ? v * 1.1 : 100.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  obs::install(nullptr);
+}
+
+void BM_SnapshotMerge(benchmark::State& state) {
+  static const obs::Counter counter("bench.merge_counter");
+  static const obs::Histogram hist("bench.merge_hist",
+                                   obs::duration_bounds_ns());
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  for (int i = 0; i < 10000; ++i) {
+    counter.add();
+    hist.observe(static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+  obs::install(nullptr);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DesWorkload)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+BENCHMARK(BM_CounterAddOff);
+BENCHMARK(BM_CounterAddOn);
+BENCHMARK(BM_HistogramObserveOn);
+BENCHMARK(BM_SnapshotMerge);
+
+BENCHMARK_MAIN();

@@ -1,9 +1,14 @@
 // One-shot Markdown report: regenerates every paper table and emits a
 // single document (stdout) suitable for pasting into an issue or a wiki.
+//
+//   --json-reports   append the per-row obs::RunReport dump as fenced JSON
+//   --metrics-out    dump internal des/trust/sched metrics (JSON or CSV)
 #include <iostream>
 
 #include "net/report.hpp"
+#include "obs/export.hpp"
 #include "sfi/harness.hpp"
+#include "sim/scenario_builder.hpp"
 #include "support.hpp"
 #include "trust/ets.hpp"
 #include "workload/heterogeneity.hpp"
@@ -26,10 +31,13 @@ int main(int argc, char** argv) {
   CliParser cli("bench_report",
                 "Regenerates all paper tables as one Markdown report");
   bench::add_common_flags(cli);
+  cli.add_flag("json-reports",
+               "append every comparison's RunReport as one JSON document");
   cli.parse(argc, argv);
   const auto replications =
       static_cast<std::size_t>(cli.get_int("replications"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  obs::MetricsExportScope metrics(cli);
 
   std::cout << "# gridtrust reproduction report\n\n"
             << "Replications: " << replications << ", seed: " << seed
@@ -62,25 +70,53 @@ int main(int argc, char** argv) {
       {"8", "sufferage", true, false, "39.66% / 38.40%"},
       {"9", "sufferage", true, true, "32.67% / 33.19%"},
   };
+  // Every comparison's RunReport, merged under table<N>.tasks<M> prefixes:
+  // one uniform name -> value document instead of hand-rolled row structs.
+  obs::RunReport combined;
   for (const TableSpec& spec : specs) {
     std::vector<sim::ComparisonResult> rows;
     for (const std::int64_t tasks :
          {cli.get_int("tasks-a"), cli.get_int("tasks-b")}) {
-      sim::Scenario scenario = bench::scenario_from_flags(cli);
-      scenario.tasks = static_cast<std::size_t>(tasks);
-      scenario.heterogeneity = spec.consistent
-                                   ? workload::consistent_lolo()
-                                   : workload::inconsistent_lolo();
-      scenario.rms.heuristic = spec.heuristic;
-      scenario.rms.mode = spec.batch ? sim::SchedulingMode::kBatch
-                                     : sim::SchedulingMode::kImmediate;
-      rows.push_back(sim::run_comparison(scenario, replications, seed));
+      sim::ScenarioBuilder builder = bench::builder_from_flags(cli);
+      builder.tasks(static_cast<std::size_t>(tasks))
+          .heuristic(spec.heuristic);
+      if (spec.batch) builder.batch(cli.get_double("batch-interval"));
+      if (spec.consistent) {
+        builder.consistent();
+      } else {
+        builder.inconsistent();
+      }
+      rows.push_back(sim::run_comparison(builder.build(), replications, seed));
+      combined.merge("table" + std::string(spec.number) + ".tasks" +
+                         std::to_string(tasks),
+                     rows.back().report());
     }
     const std::string title =
         std::string("Table ") + spec.number + ". " + spec.heuristic + ", " +
         (spec.consistent ? "consistent" : "inconsistent") +
         " LoLo (paper improvements: " + spec.paper + ")";
     std::cout << sim::paper_table(title, rows).to_markdown() << "\n";
+  }
+
+  std::cout << "## Headline improvements\n\n";
+  for (const TableSpec& spec : specs) {
+    std::cout << "- Table " << spec.number << " (" << spec.heuristic << "): ";
+    bool first = true;
+    for (const std::int64_t tasks :
+         {cli.get_int("tasks-a"), cli.get_int("tasks-b")}) {
+      const std::string key = "table" + std::string(spec.number) + ".tasks" +
+                              std::to_string(tasks) + ".improvement_pct";
+      if (!first) std::cout << " / ";
+      first = false;
+      std::cout << format_percent(combined.get(key));
+    }
+    std::cout << " (paper: " << spec.paper << ")\n";
+  }
+  std::cout << "\n";
+
+  if (cli.get_flag("json-reports")) {
+    std::cout << "## Run reports\n\n```json\n"
+              << combined.to_json() << "\n```\n";
   }
   return 0;
 }

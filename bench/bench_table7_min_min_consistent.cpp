@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   gridtrust::bench::add_common_flags(cli);
   cli.parse(argc, argv);
   return gridtrust::bench::run_paper_table(
-      cli, "7", "min-min", /*batch=*/true,
-      /*consistent=*/true,
+      cli, "7",
+      gridtrust::sim::ScenarioBuilder().heuristic("min-min").batch()
+          .consistent(),
       "improvements 25.28%/25.32% at 50/100 tasks");
 }

@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   gridtrust::bench::add_common_flags(cli);
   cli.parse(argc, argv);
   return gridtrust::bench::run_paper_table(
-      cli, "8", "sufferage", /*batch=*/true,
-      /*consistent=*/false,
+      cli, "8",
+      gridtrust::sim::ScenarioBuilder().heuristic("sufferage").batch()
+          .inconsistent(),
       "improvements 39.66%/38.40% at 50/100 tasks");
 }

@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   gridtrust::bench::add_common_flags(cli);
   cli.parse(argc, argv);
   return gridtrust::bench::run_paper_table(
-      cli, "9", "sufferage", /*batch=*/true,
-      /*consistent=*/true,
+      cli, "9",
+      gridtrust::sim::ScenarioBuilder().heuristic("sufferage").batch()
+          .consistent(),
       "improvements 32.67%/33.19% at 50/100 tasks");
 }

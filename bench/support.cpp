@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "obs/export.hpp"
 #include "workload/heterogeneity.hpp"
 
 namespace gridtrust::bench {
@@ -20,40 +21,55 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("forced-f", "use the strict Table 1 reading (RTL=F -> TC=6)");
   cli.add_flag("iid-table", "independent per-activity trust table entries");
   cli.add_flag("csv", "emit CSV rows instead of the ASCII table");
+  obs::add_metrics_flags(cli);
+}
+
+sim::ScenarioBuilder builder_from_flags(const CliParser& cli) {
+  return sim::ScenarioBuilder()
+      .machines(static_cast<std::size_t>(cli.get_int("machines")))
+      .arrival_rate(cli.get_double("arrival-rate"))
+      .tc_weight_pct(cli.get_double("tc-weight"))
+      .blanket_pct(cli.get_double("blanket"))
+      .forced_f(cli.get_flag("forced-f"))
+      .table_correlation(
+          cli.get_flag("iid-table")
+              ? workload::TableCorrelation::kIndependentPerActivity
+              : workload::TableCorrelation::kPairLevel);
 }
 
 sim::Scenario scenario_from_flags(const CliParser& cli) {
-  sim::Scenario scenario;
-  scenario.grid.machines = static_cast<std::size_t>(cli.get_int("machines"));
-  scenario.requests.arrival_rate = cli.get_double("arrival-rate");
-  scenario.rms.batch_interval = cli.get_double("batch-interval");
-  scenario.security.tc_weight_pct = cli.get_double("tc-weight");
-  scenario.security.blanket_pct = cli.get_double("blanket");
-  scenario.security.table1_forced_f = cli.get_flag("forced-f");
-  scenario.table_correlation =
-      cli.get_flag("iid-table")
-          ? workload::TableCorrelation::kIndependentPerActivity
-          : workload::TableCorrelation::kPairLevel;
-  return scenario;
+  return builder_from_flags(cli).build();
 }
 
 int run_paper_table(const CliParser& cli, const std::string& table_number,
-                    const std::string& heuristic, bool batch, bool consistent,
+                    const sim::ScenarioBuilder& base,
                     const std::string& paper_reference) {
   const auto replications =
       static_cast<std::size_t>(cli.get_int("replications"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  obs::MetricsExportScope metrics(cli);
+
+  const std::string heuristic = base.peek().rms.heuristic;
+  const bool batch = base.peek().rms.mode == sim::SchedulingMode::kBatch;
+  const bool consistent = base.peek().heterogeneity.consistency ==
+                          workload::Consistency::kConsistent;
 
   std::vector<sim::ComparisonResult> rows;
-  for (const std::int64_t tasks : {cli.get_int("tasks-a"), cli.get_int("tasks-b")}) {
-    sim::Scenario scenario = scenario_from_flags(cli);
-    scenario.tasks = static_cast<std::size_t>(tasks);
-    scenario.heterogeneity = consistent ? workload::consistent_lolo()
-                                        : workload::inconsistent_lolo();
-    scenario.rms.heuristic = heuristic;
-    scenario.rms.mode =
-        batch ? sim::SchedulingMode::kBatch : sim::SchedulingMode::kImmediate;
-    rows.push_back(sim::run_comparison(scenario, replications, seed));
+  for (const std::int64_t tasks :
+       {cli.get_int("tasks-a"), cli.get_int("tasks-b")}) {
+    sim::ScenarioBuilder row = base;
+    row.tasks(static_cast<std::size_t>(tasks))
+        .machines(static_cast<std::size_t>(cli.get_int("machines")))
+        .arrival_rate(cli.get_double("arrival-rate"))
+        .tc_weight_pct(cli.get_double("tc-weight"))
+        .blanket_pct(cli.get_double("blanket"))
+        .forced_f(cli.get_flag("forced-f"))
+        .table_correlation(
+            cli.get_flag("iid-table")
+                ? workload::TableCorrelation::kIndependentPerActivity
+                : workload::TableCorrelation::kPairLevel);
+    if (batch) row.batch(cli.get_double("batch-interval"));
+    rows.push_back(sim::run_comparison(row.build(), replications, seed));
   }
 
   const std::string title =

@@ -2,28 +2,43 @@
 //
 // Each bench_tableN binary reproduces one paper table with a fast default
 // configuration (tens of milliseconds) and exposes flags for larger
-// replication counts, alternative seeds, and CSV output.
+// replication counts, alternative seeds, CSV output, and a metrics dump
+// (--metrics-out, see docs/observability.md).
 #pragma once
 
 #include <string>
 
 #include "common/cli.hpp"
 #include "sim/experiment.hpp"
+#include "sim/scenario_builder.hpp"
 
 namespace gridtrust::bench {
 
-/// Registers the flags shared by every scheduling-table bench.
+/// Registers the flags shared by every scheduling-table bench (including
+/// the obs --metrics-out flag).
 void add_common_flags(CliParser& cli);
+
+/// Seeds a ScenarioBuilder from the parsed shared flags (machines,
+/// arrival rate, ESC pricing, table correlation).  Mode, heuristic, and
+/// heterogeneity stay at their defaults; callers layer those on top.
+sim::ScenarioBuilder builder_from_flags(const CliParser& cli);
 
 /// Builds the base scenario for Tables 4-9 from parsed flags.
 sim::Scenario scenario_from_flags(const CliParser& cli);
 
 /// Runs one paper table (two task counts, trust no/yes) and prints it,
 /// followed by paired-CI summaries and the paper's reference values.
-/// `heuristic` is a registered heuristic name; `batch` selects the RMS mode.
-/// Returns 0 (success) so mains can `return run_paper_table(...)`.
+/// `base` carries the table's fixed condition — heuristic, RMS mode, and
+/// heterogeneity class — e.g.
+///   run_paper_table(cli, "4",
+///                   sim::ScenarioBuilder().heuristic("mct").immediate()
+///                       .inconsistent(),
+///                   "improvements 36.99%/37.59% at 50/100 tasks");
+/// the shared flags (machines, task counts, pricing, ...) are applied on
+/// top for each row.  Returns 0 (success) so mains can
+/// `return run_paper_table(...)`.
 int run_paper_table(const CliParser& cli, const std::string& table_number,
-                    const std::string& heuristic, bool batch, bool consistent,
+                    const sim::ScenarioBuilder& base,
                     const std::string& paper_reference);
 
 }  // namespace gridtrust::bench

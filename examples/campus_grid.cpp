@@ -99,12 +99,17 @@ int main(int argc, char** argv) {
   for (const grid::Machine& m : grid_sys.machines()) {
     gantt.machine_names.push_back(m.name);
   }
+  // The scalar outcomes come from the uniform RunReport every simulation
+  // result exposes (same names as the JSON/CSV serializations).
+  const obs::RunReport report = result.report();
   std::cout << out << "\n"
             << sched::render_gantt(problem, result.schedule, gantt) << "\n"
-            << "makespan " << format_grouped(result.makespan, 1) << " s, "
-            << format_percent(result.utilization_pct) << " utilization, "
-            << result.batches << " meta-requests, mean flow time "
-            << format_grouped(result.mean_flow_time, 1) << " s\n\n"
+            << "makespan " << format_grouped(report.get("makespan"), 1)
+            << " s, " << format_percent(report.get("utilization_pct"))
+            << " utilization, "
+            << static_cast<std::size_t>(report.get("batches"))
+            << " meta-requests, mean flow time "
+            << format_grouped(report.get("mean_flow_time"), 1) << " s\n\n"
             << "Note how high-RTL work avoids the lightly trusted colo node "
                "unless the queue there is short enough to pay off.\n";
   return 0;

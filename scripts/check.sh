@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-merge check: build with address+UB sanitizers and run the test suite.
+#
+#   scripts/check.sh           # asan preset (default)
+#   scripts/check.sh tsan      # thread sanitizer (obs shard merging, pool)
+#   scripts/check.sh release   # plain release build
+#
+# Each preset uses its own build directory (build-asan, build-tsan, build),
+# so alternating presets does not thrash one cache.
+set -euo pipefail
+
+preset="${1:-asan}"
+case "$preset" in
+  release|asan|tsan) ;;
+  *)
+    echo "usage: scripts/check.sh [release|asan|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+cd "$(dirname "$0")/.."
+
+cmake --preset "$preset"
+cmake --build --preset "$preset"
+ctest --preset "$preset"

@@ -1,21 +1,60 @@
 #include "des/simulator.hpp"
 
+#include <map>
+#include <mutex>
+#include <string>
+
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace gridtrust::des {
 
-EventId Simulator::schedule_at(SimTime time, std::function<void()> action) {
+namespace {
+
+// Kernel-level metrics.  Counts are batched in plain Simulator members and
+// flushed by publish_metrics(), so the per-event cost of an *enabled*
+// registry is still zero on the schedule/execute path; only labelled events
+// pay for timing.
+const obs::Counter kExecuted("des.events_executed");
+const obs::Counter kScheduled("des.events_scheduled");
+const obs::Counter kCancelled("des.events_cancelled");
+const obs::Gauge kHeapDepthMax("des.heap_depth_max");
+const obs::Gauge kPending("des.events_pending");
+
+/// Per-type execution-time histogram, interned once per type name.
+const obs::Histogram& event_type_histogram(const char* type) {
+  static std::mutex mutex;
+  static std::map<std::string, obs::Histogram>& cache =
+      *new std::map<std::string, obs::Histogram>();  // leaked: immortal
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(type);
+  if (it != cache.end()) return it->second;
+  return cache
+      .emplace(type, obs::Histogram(std::string("des.event_ns.") + type,
+                                    obs::duration_bounds_ns()))
+      .first->second;
+}
+
+}  // namespace
+
+Simulator::~Simulator() { publish_metrics(); }
+
+EventId Simulator::schedule_at(SimTime time, std::function<void()> action,
+                               const char* type) {
   GT_REQUIRE(action != nullptr, "cannot schedule an empty action");
   GT_REQUIRE(time >= now_, "cannot schedule an event in the past");
   const EventId id = next_id_++;
   heap_.push(Entry{time, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
+  actions_.emplace(id, Pending{std::move(action), type});
+  ++scheduled_;
+  if (heap_.size() > max_heap_depth_) max_heap_depth_ = heap_.size();
   return id;
 }
 
-EventId Simulator::schedule_in(SimTime delay, std::function<void()> action) {
+EventId Simulator::schedule_in(SimTime delay, std::function<void()> action,
+                               const char* type) {
   GT_REQUIRE(delay >= 0.0, "delay must be non-negative");
-  return schedule_at(now_ + delay, std::move(action));
+  return schedule_at(now_ + delay, std::move(action), type);
 }
 
 bool Simulator::cancel(EventId id) {
@@ -23,6 +62,7 @@ bool Simulator::cancel(EventId id) {
   if (it == actions_.end()) return false;
   actions_.erase(it);
   cancelled_.insert(id);
+  ++cancelled_count_;
   return true;
 }
 
@@ -41,27 +81,37 @@ bool Simulator::pop_next(Entry& out) {
   return false;
 }
 
+void Simulator::execute(const Entry& entry) {
+  auto it = actions_.find(entry.id);
+  GT_ASSERT(it != actions_.end());
+  // Move the action out before invoking: the action may schedule or cancel
+  // other events, invalidating iterators into actions_.
+  Pending pending = std::move(it->second);
+  actions_.erase(it);
+  ++executed_;
+  if (pending.type != nullptr && obs::registry() != nullptr) {
+    obs::ScopedTimer timer(event_type_histogram(pending.type));
+    pending.action();
+  } else {
+    pending.action();
+  }
+}
+
 bool Simulator::step() {
   Entry entry;
   if (!pop_next(entry)) return false;
   GT_ASSERT(entry.time >= now_);
   now_ = entry.time;
-  auto it = actions_.find(entry.id);
-  GT_ASSERT(it != actions_.end());
-  // Move the action out before invoking: the action may schedule or cancel
-  // other events, invalidating iterators into actions_.
-  std::function<void()> action = std::move(it->second);
-  actions_.erase(it);
-  ++executed_;
-  action();
+  execute(entry);
   return true;
 }
 
 void Simulator::run(std::uint64_t max_events) {
   std::uint64_t budget = max_events;
   while (step()) {
-    if (max_events != 0 && --budget == 0) return;
+    if (max_events != 0 && --budget == 0) break;
   }
+  publish_metrics();
 }
 
 void Simulator::run_until(SimTime until) {
@@ -73,26 +123,38 @@ void Simulator::run_until(SimTime until) {
       // Put it back; it runs on a later call.
       heap_.push(entry);
       now_ = until;
+      publish_metrics();
       return;
     }
     now_ = entry.time;
-    auto it = actions_.find(entry.id);
-    GT_ASSERT(it != actions_.end());
-    std::function<void()> action = std::move(it->second);
-    actions_.erase(it);
-    ++executed_;
-    action();
+    execute(entry);
   }
   now_ = until;
+  publish_metrics();
 }
 
 void Simulator::reset() {
+  publish_metrics();
   heap_ = {};
   cancelled_.clear();
   actions_.clear();
   now_ = 0.0;
   next_seq_ = 0;
   executed_ = 0;
+  scheduled_ = 0;
+  cancelled_count_ = 0;
+  max_heap_depth_ = 0;
+  published_ = {};
+}
+
+void Simulator::publish_metrics() {
+  if (obs::registry() == nullptr) return;
+  kExecuted.add(static_cast<double>(executed_ - published_.executed));
+  kScheduled.add(static_cast<double>(scheduled_ - published_.scheduled));
+  kCancelled.add(static_cast<double>(cancelled_count_ - published_.cancelled));
+  kHeapDepthMax.set(static_cast<double>(max_heap_depth_));
+  kPending.set(static_cast<double>(pending_events()));
+  published_ = {executed_, scheduled_, cancelled_count_};
 }
 
 }  // namespace gridtrust::des

@@ -26,6 +26,10 @@ using EventId = std::uint64_t;
 class Simulator {
  public:
   Simulator() = default;
+  /// Publishes any unflushed metrics (see publish_metrics()).
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time.  Starts at 0.
   SimTime now() const { return now_; }
@@ -36,11 +40,25 @@ class Simulator {
   /// Number of events currently pending (cancelled events excluded).
   std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
 
-  /// Schedules `action` at absolute time `time` (must be >= now()).
-  EventId schedule_at(SimTime time, std::function<void()> action);
+  /// Number of events scheduled so far (including cancelled ones).
+  std::uint64_t scheduled_events() const { return scheduled_; }
+
+  /// Number of events cancelled so far.
+  std::uint64_t cancelled_events() const { return cancelled_count_; }
+
+  /// Deepest the event heap has ever been (cancelled entries included).
+  std::size_t max_heap_depth() const { return max_heap_depth_; }
+
+  /// Schedules `action` at absolute time `time` (must be >= now()).  `type`
+  /// optionally labels the event for per-type execution-time metrics
+  /// (`des.event_ns.<type>`); it must be a string literal or otherwise
+  /// outlive the simulator.  Unlabelled events are never timed.
+  EventId schedule_at(SimTime time, std::function<void()> action,
+                      const char* type = nullptr);
 
   /// Schedules `action` after `delay` seconds (must be >= 0).
-  EventId schedule_in(SimTime delay, std::function<void()> action);
+  EventId schedule_in(SimTime delay, std::function<void()> action,
+                      const char* type = nullptr);
 
   /// Cancels a pending event.  Returns false if the event already ran,
   /// was cancelled, or never existed.
@@ -61,6 +79,14 @@ class Simulator {
   /// Discards all pending events and resets the clock to zero.
   void reset();
 
+  /// Publishes kernel counters (`des.events_*`, `des.heap_depth_max`,
+  /// `des.events_pending`) to the installed obs::MetricsRegistry as deltas
+  /// since the last publish.  The kernel batches its counts in plain
+  /// members so the event loop costs nothing extra; run(), run_until(),
+  /// and the destructor publish automatically — call this only to flush
+  /// mid-run (e.g. between step() calls).  No-op when metrics are off.
+  void publish_metrics();
+
  private:
   struct Entry {
     SimTime time;
@@ -74,18 +100,38 @@ class Simulator {
     }
   };
 
+  /// A scheduled action plus its optional metrics label.
+  struct Pending {
+    std::function<void()> action;
+    const char* type = nullptr;
+  };
+
   /// Pops the next runnable entry, skipping cancelled events.  Returns
   /// false when the queue is exhausted.
   bool pop_next(Entry& out);
+
+  /// Moves the entry's action out of actions_ and executes it, timing it
+  /// into its per-type histogram when labelled and metrics are on.
+  void execute(const Entry& entry);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::size_t max_heap_depth_ = 0;
+  // Counter values already pushed to the metrics registry (publish sends
+  // deltas so interleaved publishes never double-count).
+  struct Published {
+    std::uint64_t executed = 0;
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+  } published_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> cancelled_;
   // Actions stored separately so heap entries stay trivially copyable.
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::unordered_map<EventId, Pending> actions_;
 };
 
 }  // namespace gridtrust::des

@@ -1,0 +1,16 @@
+// Internal mini JSON formatting helpers shared by the obs exporters.
+// Deliberately tiny: the library only ever *writes* JSON.
+#pragma once
+
+#include <string>
+
+namespace gridtrust::obs::detail {
+
+/// Formats a double so it round-trips (shortest of %.17g family); inf/nan
+/// become null (JSON has no literal for them).
+std::string json_number(double value);
+
+/// Escapes quotes, backslashes, and control characters.
+std::string json_escape(const std::string& text);
+
+}  // namespace gridtrust::obs::detail

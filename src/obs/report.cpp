@@ -1,0 +1,118 @@
+#include "obs/report.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace gridtrust::obs {
+
+RunReport::Entry& RunReport::upsert(const std::string& name) {
+  GT_REQUIRE(!name.empty(), "report entry names must be non-empty");
+  const auto it = index_.find(name);
+  if (it != index_.end()) return entries_[it->second];
+  index_.emplace(name, entries_.size());
+  entries_.push_back(Entry{name, false, 0.0, {}});
+  return entries_.back();
+}
+
+const RunReport::Entry& RunReport::find(const std::string& name) const {
+  const auto it = index_.find(name);
+  GT_REQUIRE(it != index_.end(), "no report entry named " + name);
+  return entries_[it->second];
+}
+
+RunReport& RunReport::set(const std::string& name, double value) {
+  Entry& entry = upsert(name);
+  entry.is_series = false;
+  entry.scalar = value;
+  entry.series.clear();
+  return *this;
+}
+
+RunReport& RunReport::set_series(const std::string& name,
+                                 std::vector<double> values) {
+  Entry& entry = upsert(name);
+  entry.is_series = true;
+  entry.series = std::move(values);
+  return *this;
+}
+
+bool RunReport::has(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+double RunReport::get(const std::string& name) const {
+  const Entry& entry = find(name);
+  GT_REQUIRE(!entry.is_series, name + " is a series, not a scalar");
+  return entry.scalar;
+}
+
+const std::vector<double>& RunReport::get_series(
+    const std::string& name) const {
+  const Entry& entry = find(name);
+  GT_REQUIRE(entry.is_series, name + " is a scalar, not a series");
+  return entry.series;
+}
+
+std::vector<std::string> RunReport::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+RunReport& RunReport::merge(const std::string& prefix,
+                            const RunReport& other) {
+  for (const Entry& entry : other.entries_) {
+    const std::string name = prefix + "." + entry.name;
+    if (entry.is_series) {
+      set_series(name, entry.series);
+    } else {
+      set(name, entry.scalar);
+    }
+  }
+  return *this;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += detail::json_escape(entry.name);
+    out += "\":";
+    if (entry.is_series) {
+      out += '[';
+      for (std::size_t i = 0; i < entry.series.size(); ++i) {
+        if (i != 0) out += ',';
+        out += detail::json_number(entry.series[i]);
+      }
+      out += ']';
+    } else {
+      out += detail::json_number(entry.scalar);
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::string RunReport::to_csv() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "name,index,value\n";
+  for (const Entry& entry : entries_) {
+    if (entry.is_series) {
+      for (std::size_t i = 0; i < entry.series.size(); ++i) {
+        out << entry.name << "," << i << "," << entry.series[i] << "\n";
+      }
+    } else {
+      out << entry.name << ",," << entry.scalar << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace gridtrust::obs

@@ -1,0 +1,63 @@
+// Observability: the canonical run-result container.
+//
+// Every simulation entry point (sim::SimulationResult, sim::ComparisonResult,
+// sim::closed_loop::RoundMetrics, bench rows) can render itself as a
+// RunReport — an ordered name → scalar / series map with one JSON and one
+// CSV serialization — so downstream tooling consumes a single shape instead
+// of one hand-rolled struct per bench.
+//
+// Naming mirrors the metrics convention: `<group>.<field>`, e.g.
+// "makespan", "aware.makespan_mean", "rounds.misplaced_fraction".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gridtrust::obs {
+
+/// Ordered name → scalar / series map.  Insertion order is preserved in
+/// both serializations (reports read like the tables they replace).
+class RunReport {
+ public:
+  /// Sets a scalar (overwrites an existing entry of either shape).
+  RunReport& set(const std::string& name, double value);
+
+  /// Sets a series (per-round / per-replication vectors).
+  RunReport& set_series(const std::string& name, std::vector<double> values);
+
+  bool has(const std::string& name) const;
+  /// Scalar accessor; throws PreconditionError when absent or a series.
+  double get(const std::string& name) const;
+  /// Series accessor; throws PreconditionError when absent or a scalar.
+  const std::vector<double>& get_series(const std::string& name) const;
+
+  /// All entry names in insertion order.
+  std::vector<std::string> names() const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Merges `other` into this report with every name prefixed
+  /// (`prefix` + "." + name); used to nest per-arm reports.
+  RunReport& merge(const std::string& prefix, const RunReport& other);
+
+  /// {"name":value,...,"series_name":[v0,v1,...]}
+  std::string to_json() const;
+
+  /// `name,index,value` rows; scalars leave the index empty.
+  std::string to_csv() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    bool is_series = false;
+    double scalar = 0.0;
+    std::vector<double> series;
+  };
+  Entry& upsert(const std::string& name);
+  const Entry& find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace gridtrust::obs

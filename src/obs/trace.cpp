@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace gridtrust::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_trace_generation{0};
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+
+struct TraceThreadCache {
+  std::uint64_t generation = ~std::uint64_t{0};
+  void* ring = nullptr;  // TraceSink::Ring*, typed at the use site
+};
+
+thread_local TraceThreadCache t_trace_cache;
+
+}  // namespace
+
+/// One thread's ring.  The owner appends under the ring mutex (uncontended
+/// except while a drain is in progress), so drains are exact for quiescent
+/// threads and merely lossy for active ones.
+struct TraceSink::Ring {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // capacity fixed at attach
+  std::size_t next = 0;            // ring write cursor
+  std::uint64_t total = 0;         // lifetime appends
+};
+
+TraceSink::TraceSink(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread),
+      epoch_(std::chrono::steady_clock::now()) {
+  GT_REQUIRE(capacity_ > 0, "trace ring capacity must be positive");
+}
+
+TraceSink::~TraceSink() {
+  if (trace_sink() == this) install_trace(nullptr);
+}
+
+TraceSink::Ring* TraceSink::attach_ring() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ring = std::make_unique<Ring>();
+  ring->events.reserve(capacity_);
+  rings_.push_back(std::move(ring));
+  return rings_.back().get();
+}
+
+std::vector<TraceEvent> TraceSink::drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    // Oldest-first: the ring holds the last `size` events; when it wrapped,
+    // `next` points at the oldest entry.
+    const std::size_t size = ring->events.size();
+    for (std::size_t i = 0; i < size; ++i) {
+      const std::size_t index =
+          size < capacity_ ? i : (ring->next + i) % size;
+      out.push_back(ring->events[index]);
+    }
+    ring->events.clear();
+    ring->next = 0;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.wall_ns < y.wall_ns;
+                   });
+  return out;
+}
+
+void TraceSink::flush_jsonl(std::ostream& os) {
+  for (const TraceEvent& event : drain()) {
+    os << "{\"t_ns\":" << event.wall_ns << ",\"name\":\"" << event.name
+       << "\",\"a\":" << event.a << ",\"b\":" << event.b << "}\n";
+  }
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->total;
+  }
+  return total;
+}
+
+void install_trace(TraceSink* sink) {
+  g_trace_sink.store(sink, std::memory_order_release);
+  g_trace_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+TraceSink* trace_sink() {
+  return g_trace_sink.load(std::memory_order_acquire);
+}
+
+void trace(const char* name, double a, double b) {
+  const std::uint64_t generation =
+      g_trace_generation.load(std::memory_order_acquire);
+  TraceThreadCache& cache = t_trace_cache;
+  if (cache.generation != generation) {
+    TraceSink* sink = g_trace_sink.load(std::memory_order_acquire);
+    cache.ring = sink != nullptr ? sink->attach_ring() : nullptr;
+    cache.generation = generation;
+  }
+  if (cache.ring == nullptr) return;
+  TraceSink* sink = g_trace_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  auto* ring = static_cast<TraceSink::Ring*>(cache.ring);
+  const auto elapsed = std::chrono::steady_clock::now() - sink->epoch_;
+  TraceEvent event{
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()),
+      name, a, b};
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  if (ring->events.size() < sink->capacity_) {
+    ring->events.push_back(event);
+  } else {
+    ring->events[ring->next] = event;
+    ring->next = (ring->next + 1) % sink->capacity_;
+  }
+  ++ring->total;
+}
+
+}  // namespace gridtrust::obs

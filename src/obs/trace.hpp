@@ -1,0 +1,77 @@
+// Observability: optional low-overhead event tracing.
+//
+// A TraceSink keeps a fixed-capacity ring buffer per recording thread; when
+// the ring wraps, the oldest entries are overwritten (tracing is a
+// flight-recorder, not a full log).  Entries carry a wall-clock timestamp,
+// a static name, and two free-form doubles (e.g. simulation time and a
+// value).  `flush_jsonl` merges the rings and writes one JSON object per
+// line, oldest first.
+//
+// Like the metrics registry, tracing is process-globally installed and a
+// disabled `trace(...)` call is one atomic load and one branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gridtrust::obs {
+
+/// One trace record.  `name` must point at storage that outlives the sink
+/// (string literals in practice).
+struct TraceEvent {
+  std::uint64_t wall_ns = 0;  ///< nanoseconds since the sink was created
+  const char* name = "";
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// Fixed-capacity flight recorder.
+class TraceSink {
+ public:
+  /// `capacity_per_thread` is the ring size of each recording thread.
+  explicit TraceSink(std::size_t capacity_per_thread = 4096);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Drains every ring into one time-ordered list (oldest first).  Entries
+  /// recorded concurrently with the drain may be missed; quiesce recording
+  /// threads for an exact drain.
+  std::vector<TraceEvent> drain();
+
+  /// Drains and writes one JSON object per line:
+  ///   {"t_ns":1234,"name":"des.event","a":1.0,"b":0.0}
+  void flush_jsonl(std::ostream& os);
+
+  /// Total events recorded (including overwritten ones).
+  std::uint64_t recorded() const;
+
+ private:
+  friend void trace(const char* name, double a, double b);
+  struct Ring;
+  Ring* attach_ring();
+
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Installs `sink` as the process-wide trace target (nullptr disables).
+/// Same quiescence contract as obs::install for metrics.
+void install_trace(TraceSink* sink);
+
+/// The currently installed sink, or nullptr.
+TraceSink* trace_sink();
+
+/// Records one event into the installed sink; no-op when tracing is
+/// disabled.  `name` must be a string literal (or otherwise outlive the
+/// sink).
+void trace(const char* name, double a = 0.0, double b = 0.0);
+
+}  // namespace gridtrust::obs

@@ -19,4 +19,20 @@ Schedule run_immediate(const SchedulingProblem& p, ImmediateHeuristic& h);
 Schedule run_batch_all(const SchedulingProblem& p, BatchHeuristic& h,
                        double ready = 0.0);
 
+/// select_machine with scheduler metrics (`sched.heuristic_invocations`,
+/// `sched.select_machine_ns`); behaviourally identical to calling the
+/// heuristic directly.  All executors — offline and the DES-driven RMS —
+/// funnel heuristic calls through these two wrappers so instrumentation
+/// lives in one place.
+std::size_t select_machine_instrumented(ImmediateHeuristic& h,
+                                        const SchedulingProblem& p,
+                                        std::size_t r, double ready,
+                                        const Schedule& schedule);
+
+/// map_batch with scheduler metrics (`sched.batches_mapped`,
+/// `sched.batch_size`, `sched.map_batch_ns`).
+void map_batch_instrumented(BatchHeuristic& h, const SchedulingProblem& p,
+                            const std::vector<std::size_t>& batch,
+                            double ready, Schedule& schedule);
+
 }  // namespace gridtrust::sched

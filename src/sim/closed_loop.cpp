@@ -4,10 +4,27 @@
 #include <deque>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "sched/problem.hpp"
 #include "trust/beta_reputation.hpp"
 
 namespace gridtrust::sim {
+
+namespace {
+const obs::Counter kClosedLoopRounds("sim.closed_loop_rounds");
+}  // namespace
+
+obs::RunReport RoundMetrics::report() const {
+  obs::RunReport out;
+  out.set("round", static_cast<double>(round));
+  out.set("makespan", makespan);
+  out.set("mean_chosen_tc", mean_chosen_tc);
+  out.set("misplaced_sensitive_fraction", misplaced_sensitive_fraction);
+  out.set("mean_residual_exposure", mean_residual_exposure);
+  out.set("mean_residual_exposure_honest", mean_residual_exposure_honest);
+  out.set("table_updates", static_cast<double>(table_updates));
+  return out;
+}
 
 double DomainBehavior::worst_mean(
     const std::vector<grid::ActivityId>& activities) const {
@@ -119,6 +136,7 @@ ClosedLoopResult run_closed_loop(const grid::GridSystem& grid,
   }
 
   for (std::size_t round = 0; round < config.rounds; ++round) {
+    kClosedLoopRounds.add();
     for (const auto& change : config.conduct_changes) {
       if (change.round == round) {
         live_rd_conduct[change.rd].mean = change.new_mean;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "grid/grid_system.hpp"
+#include "obs/report.hpp"
 #include "sim/trm_simulation.hpp"
 #include "trust/agents.hpp"
 #include "workload/heterogeneity.hpp"
@@ -134,6 +135,10 @@ struct RoundMetrics {
   double mean_residual_exposure_honest = 0.0;
   /// Table entries the agents updated after this round.
   std::size_t table_updates = 0;
+
+  /// The round's metrics as a uniform obs::RunReport (names match the
+  /// fields above).
+  obs::RunReport report() const;
 };
 
 /// Result of a closed-loop run.

@@ -3,12 +3,50 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "sched/problem.hpp"
 
 namespace gridtrust::sim {
 
+namespace {
+
+const obs::Counter kReplications("sim.replications");
+const obs::Counter kComparisons("sim.comparisons");
+const obs::Histogram kReplicationNs("sim.replication_ns",
+                                    obs::duration_bounds_ns());
+const obs::Histogram kDrawInstanceNs("sim.draw_instance_ns",
+                                     obs::duration_bounds_ns());
+
+void report_policy(obs::RunReport& out, const std::string& prefix,
+                   const PolicyStats& stats) {
+  out.set(prefix + ".makespan", stats.makespan.mean());
+  out.set(prefix + ".makespan_ci95", stats.makespan.ci95_halfwidth());
+  out.set(prefix + ".utilization_pct", stats.utilization_pct.mean());
+  out.set(prefix + ".mean_flow_time", stats.mean_flow_time.mean());
+  out.set(prefix + ".flow_time_p95", stats.flow_time_p95.mean());
+  out.set(prefix + ".batches", stats.batches.mean());
+}
+
+}  // namespace
+
+obs::RunReport ComparisonResult::report() const {
+  obs::RunReport out;
+  out.set("tasks", static_cast<double>(scenario.tasks));
+  out.set("replications", static_cast<double>(replications));
+  out.set("improvement_pct", improvement_pct);
+  report_policy(out, "unaware", unaware);
+  report_policy(out, "aware", aware);
+  out.set("makespan_cmp.mean_base", makespan_cmp.mean_base);
+  out.set("makespan_cmp.mean_treat", makespan_cmp.mean_treat);
+  out.set("makespan_cmp.mean_diff", makespan_cmp.mean_diff);
+  out.set("makespan_cmp.ci95_diff", makespan_cmp.ci95_diff);
+  out.set("makespan_cmp.significant", makespan_cmp.significant ? 1.0 : 0.0);
+  return out;
+}
+
 Instance draw_instance(const Scenario& scenario,
                        const sched::SchedulingPolicy& policy, Rng& rng) {
+  obs::ScopedTimer timer(kDrawInstanceNs);
   grid::GridSystem grid = grid::make_random_grid(scenario.grid, rng);
   trust::TrustLevelTable table =
       workload::random_trust_table(grid, rng, scenario.table_correlation);
@@ -48,8 +86,11 @@ ComparisonResult run_comparison(const Scenario& scenario,
   std::vector<SimulationResult> unaware_runs(replications);
   std::vector<SimulationResult> aware_runs(replications);
 
+  kComparisons.add();
   const Rng master(seed);
   const auto run_one = [&](std::size_t i) {
+    kReplications.add();
+    obs::ScopedTimer timer(kReplicationNs);
     // Both policies see the identical instance: same stream, same draws.
     Rng rng = master.stream(i);
     const Instance instance =

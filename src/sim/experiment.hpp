@@ -16,6 +16,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "grid/grid_system.hpp"
+#include "obs/report.hpp"
 #include "sim/trm_simulation.hpp"
 #include "workload/heterogeneity.hpp"
 #include "workload/request_gen.hpp"
@@ -62,6 +63,12 @@ struct ComparisonResult {
   PairedComparison makespan_cmp;
   /// The paper's headline number: mean improvement of the makespan.
   double improvement_pct = 0.0;
+
+  /// Aggregates as a uniform obs::RunReport.  Per-policy means live under
+  /// `unaware.*` / `aware.*` (makespan, utilization_pct, mean_flow_time,
+  /// flow_time_p95, batches); the paired comparison under `makespan_cmp.*`;
+  /// plus top-level replications, tasks, and improvement_pct.
+  obs::RunReport report() const;
 };
 
 /// Runs `replications` paired simulations of `scenario`.  Seeds derive from

@@ -5,10 +5,15 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "des/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "sched/executor.hpp"
 
 namespace gridtrust::sim {
 
 namespace {
+
+const obs::Counter kTrmsRuns("sim.trms_runs");
+const obs::Histogram kTrmsNs("sim.trms_run_ns", obs::duration_bounds_ns());
 
 SimulationResult finish(const sched::SchedulingProblem& problem,
                         sched::Schedule schedule, std::size_t batches,
@@ -38,11 +43,14 @@ SimulationResult run_immediate_mode(const sched::SchedulingProblem& problem,
   des::Simulator sim;
   sched::Schedule schedule = sched::Schedule::for_problem(problem);
   for (std::size_t r = 0; r < problem.num_requests(); ++r) {
-    sim.schedule_at(problem.arrival_time(r), [&, r] {
-      const std::size_t m =
-          heuristic->select_machine(problem, r, sim.now(), schedule);
-      sched::commit_assignment(problem, r, m, sim.now(), schedule);
-    });
+    sim.schedule_at(
+        problem.arrival_time(r),
+        [&, r] {
+          const std::size_t m = sched::select_machine_instrumented(
+              *heuristic, problem, r, sim.now(), schedule);
+          sched::commit_assignment(problem, r, m, sim.now(), schedule);
+        },
+        "rms_arrival");
   }
   sim.run();
   return finish(problem, std::move(schedule), 0, sim.executed_events());
@@ -61,7 +69,9 @@ SimulationResult run_batch_mode(const sched::SchedulingProblem& problem,
   std::size_t batches = 0;
 
   for (std::size_t r = 0; r < problem.num_requests(); ++r) {
-    sim.schedule_at(problem.arrival_time(r), [&, r] { queue.push_back(r); });
+    sim.schedule_at(
+        problem.arrival_time(r), [&, r] { queue.push_back(r); },
+        "rms_arrival");
   }
 
   // Recurring meta-request formation tick; reschedules itself until every
@@ -70,14 +80,15 @@ SimulationResult run_batch_mode(const sched::SchedulingProblem& problem,
     if (!queue.empty()) {
       ++batches;
       dispatched += queue.size();
-      heuristic->map_batch(problem, queue, sim.now(), schedule);
+      sched::map_batch_instrumented(*heuristic, problem, queue, sim.now(),
+                                    schedule);
       queue.clear();
     }
     if (dispatched < problem.num_requests()) {
-      sim.schedule_in(config.batch_interval, tick);
+      sim.schedule_in(config.batch_interval, tick, "rms_batch_tick");
     }
   };
-  sim.schedule_in(config.batch_interval, tick);
+  sim.schedule_in(config.batch_interval, tick, "rms_batch_tick");
 
   sim.run();
   return finish(problem, std::move(schedule), batches, sim.executed_events());
@@ -85,9 +96,23 @@ SimulationResult run_batch_mode(const sched::SchedulingProblem& problem,
 
 }  // namespace
 
+obs::RunReport SimulationResult::report() const {
+  obs::RunReport out;
+  out.set("makespan", makespan);
+  out.set("utilization_pct", utilization_pct);
+  out.set("mean_flow_time", mean_flow_time);
+  out.set("flow_time_p50", flow_time_p50);
+  out.set("flow_time_p95", flow_time_p95);
+  out.set("batches", static_cast<double>(batches));
+  out.set("events", static_cast<double>(events));
+  return out;
+}
+
 SimulationResult run_trms(const sched::SchedulingProblem& problem,
                           const TrmsConfig& config) {
   GT_REQUIRE(problem.num_requests() > 0, "nothing to schedule");
+  kTrmsRuns.add();
+  obs::ScopedTimer timer(kTrmsNs);
   switch (config.mode) {
     case SchedulingMode::kImmediate:
       return run_immediate_mode(problem, config);

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/report.hpp"
 #include "sched/executor.hpp"
 #include "sched/heuristic.hpp"
 
@@ -42,6 +43,11 @@ struct SimulationResult {
   std::size_t batches = 0;
   /// DES events executed.
   std::uint64_t events = 0;
+
+  /// The scalar outcome metrics as a uniform obs::RunReport (names:
+  /// makespan, utilization_pct, mean_flow_time, flow_time_p50,
+  /// flow_time_p95, batches, events).  The schedule itself is not included.
+  obs::RunReport report() const;
 };
 
 /// Runs the RMS over `problem` (whose arrival times drive the event queue)

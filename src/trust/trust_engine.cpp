@@ -4,8 +4,22 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace gridtrust::trust {
+
+namespace {
+
+// Engine-level metrics (all no-ops unless an obs registry is installed).
+const obs::Counter kGammaEvals("trust.gamma_evals");
+const obs::Counter kReputationScans("trust.reputation_scans");
+const obs::Counter kReputationRecordsScanned(
+    "trust.reputation_records_scanned");
+const obs::Counter kDecayApplications("trust.decay_applications");
+const obs::Counter kTransactions("trust.transactions");
+const obs::Gauge kDirectRecords("trust.direct_records");
+
+}  // namespace
 
 TrustEngine::TrustEngine(TrustEngineConfig config, std::size_t entities,
                          std::size_t contexts)
@@ -57,6 +71,7 @@ const DecayFunction& TrustEngine::decay_for(ContextId context) const {
 }
 
 double TrustEngine::decayed(double level, double age, ContextId context) const {
+  kDecayApplications.add();
   return level * decay_for(context).value(age);
 }
 
@@ -87,6 +102,8 @@ void TrustEngine::record_transaction(const Transaction& tx) {
   rec.last_time = tx.time;
   ++rec.count;
   ++tx_count_;
+  kTransactions.add();
+  kDirectRecords.set(static_cast<double>(direct_.size()));
 }
 
 std::optional<DirectTrustRecord> TrustEngine::direct_record(
@@ -119,6 +136,7 @@ std::optional<double> TrustEngine::reputation(EntityId evaluator,
   // Scan every recommender z != evaluator with a record about target.  The
   // triple keys are ordered (truster, trustee, context), so we walk the map
   // range-free; entity counts in this model are small (domains, not users).
+  kReputationScans.add();
   double sum = 0.0;
   std::size_t n = 0;
   for (EntityId z = 0; z < entities_; ++z) {
@@ -131,12 +149,14 @@ std::optional<double> TrustEngine::reputation(EntityId evaluator,
            recommender_factor(evaluator, z, target);
     ++n;
   }
+  kReputationRecordsScanned.add(static_cast<double>(n));
   if (n == 0) return std::nullopt;
   return sum / static_cast<double>(n);
 }
 
 double TrustEngine::eventual_trust(EntityId truster, EntityId trustee,
                                    ContextId context, double now) const {
+  kGammaEvals.add();
   const auto theta = direct_trust(truster, trustee, context, now);
   const auto omega = reputation(truster, trustee, context, now);
   if (theta && omega) return config_.alpha * *theta + config_.beta * *omega;

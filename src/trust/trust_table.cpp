@@ -1,8 +1,16 @@
 #include "trust/trust_table.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace gridtrust::trust {
+
+namespace {
+
+const obs::Counter kTableLookups("trust.table_lookups");
+const obs::Counter kTableWrites("trust.table_writes");
+
+}  // namespace
 
 TrustLevelTable::TrustLevelTable(std::size_t client_domains,
                                  std::size_t resource_domains,
@@ -27,6 +35,7 @@ std::size_t TrustLevelTable::offset(std::size_t cd, std::size_t rd,
 
 TrustLevel TrustLevelTable::get(std::size_t cd, std::size_t rd,
                                 std::size_t activity) const {
+  kTableLookups.add();
   return levels_[offset(cd, rd, activity)];
 }
 
@@ -38,6 +47,7 @@ void TrustLevelTable::set(std::size_t cd, std::size_t rd, std::size_t activity,
   if (slot != level) {
     slot = level;
     ++version_;
+    kTableWrites.add();
   }
 }
 

@@ -4,6 +4,7 @@
 #include "common/error.hpp"
 #include "sched/executor.hpp"
 #include "sim/experiment.hpp"
+#include "sim/scenario_builder.hpp"
 #include "sim/trm_simulation.hpp"
 
 namespace gridtrust::sim {
@@ -245,6 +246,99 @@ TEST(Experiment, SummaryMentionsHeuristicAndImprovement) {
   EXPECT_NE(s.find("mct"), std::string::npos);
   EXPECT_NE(s.find("improvement"), std::string::npos);
   EXPECT_NE(s.find("n=5"), std::string::npos);
+}
+
+TEST(ScenarioBuilder, DefaultsMatchAggregateInit) {
+  const Scenario built = ScenarioBuilder().build();
+  const Scenario plain;
+  EXPECT_EQ(built.tasks, plain.tasks);
+  EXPECT_EQ(built.grid.machines, plain.grid.machines);
+  EXPECT_EQ(built.rms.heuristic, plain.rms.heuristic);
+  EXPECT_EQ(built.requests.arrival_rate, plain.requests.arrival_rate);
+}
+
+TEST(ScenarioBuilder, FluentChainSetsEveryField) {
+  const Scenario s = ScenarioBuilder()
+                         .tasks(100)
+                         .machines(8)
+                         .client_domains(2, 3)
+                         .resource_domains(1, 2)
+                         .heuristic("min-min")
+                         .batch(15.0)
+                         .consistent()
+                         .arrival_rate(2.0)
+                         .tc_weight_pct(20.0)
+                         .blanket_pct(40.0)
+                         .forced_f()
+                         .table_correlation(
+                             workload::TableCorrelation::kIndependentPerActivity)
+                         .build();
+  EXPECT_EQ(s.tasks, 100u);
+  EXPECT_EQ(s.grid.machines, 8u);
+  EXPECT_EQ(s.grid.min_client_domains, 2u);
+  EXPECT_EQ(s.grid.max_client_domains, 3u);
+  EXPECT_EQ(s.rms.heuristic, "min-min");
+  EXPECT_EQ(s.rms.mode, SchedulingMode::kBatch);
+  EXPECT_DOUBLE_EQ(s.rms.batch_interval, 15.0);
+  EXPECT_EQ(s.heterogeneity.consistency, workload::Consistency::kConsistent);
+  EXPECT_DOUBLE_EQ(s.requests.arrival_rate, 2.0);
+  EXPECT_DOUBLE_EQ(s.security.tc_weight_pct, 20.0);
+  EXPECT_DOUBLE_EQ(s.security.blanket_pct, 40.0);
+  EXPECT_TRUE(s.security.table1_forced_f);
+  EXPECT_EQ(s.table_correlation,
+            workload::TableCorrelation::kIndependentPerActivity);
+}
+
+TEST(ScenarioBuilder, RejectsInvalidCombinations) {
+  EXPECT_THROW(ScenarioBuilder().tasks(0).build(), PreconditionError);
+  EXPECT_THROW(ScenarioBuilder().machines(0).build(), PreconditionError);
+  EXPECT_THROW(ScenarioBuilder().client_domains(3, 2).build(),
+               PreconditionError);
+  EXPECT_THROW(ScenarioBuilder().arrival_rate(-1.0).build(),
+               PreconditionError);
+  EXPECT_THROW(ScenarioBuilder().batch(0.0).heuristic("min-min").build(),
+               PreconditionError);
+  // Heuristic-vs-mode agreement: min-min is batch-only, mct immediate-only.
+  EXPECT_THROW(ScenarioBuilder().heuristic("min-min").immediate().build(),
+               PreconditionError);
+  EXPECT_THROW(ScenarioBuilder().heuristic("mct").batch().build(),
+               PreconditionError);
+  EXPECT_THROW(ScenarioBuilder().heuristic("no-such").build(),
+               PreconditionError);
+  EXPECT_NO_THROW(ScenarioBuilder().heuristic("min-min").batch().build());
+}
+
+TEST(ScenarioBuilder, BuiltScenarioRunsEndToEnd) {
+  const Scenario s =
+      ScenarioBuilder().tasks(10).machines(3).heuristic("mct").build();
+  const ComparisonResult result = run_comparison(s, 2, 11);
+  EXPECT_EQ(result.replications, 2u);
+  EXPECT_GT(result.aware.makespan.mean(), 0.0);
+}
+
+TEST(RunReport, SimulationResultReportsScalars) {
+  const auto problem =
+      make_problem(5, 12, 3, 1.0, sched::trust_aware_policy());
+  const SimulationResult result = run_trms(problem, TrmsConfig{});
+  const obs::RunReport report = result.report();
+  EXPECT_DOUBLE_EQ(report.get("makespan"), result.makespan);
+  EXPECT_DOUBLE_EQ(report.get("events"),
+                   static_cast<double>(result.events));
+  EXPECT_DOUBLE_EQ(report.get("utilization_pct"), result.utilization_pct);
+}
+
+TEST(RunReport, ComparisonResultReportsBothArms) {
+  Scenario scenario;
+  scenario.tasks = 10;
+  const ComparisonResult result = run_comparison(scenario, 3, 5);
+  const obs::RunReport report = result.report();
+  EXPECT_DOUBLE_EQ(report.get("replications"), 3.0);
+  EXPECT_DOUBLE_EQ(report.get("unaware.makespan"),
+                   result.unaware.makespan.mean());
+  EXPECT_DOUBLE_EQ(report.get("aware.makespan"),
+                   result.aware.makespan.mean());
+  EXPECT_DOUBLE_EQ(report.get("improvement_pct"), result.improvement_pct);
+  EXPECT_TRUE(report.has("makespan_cmp.ci95_diff"));
 }
 
 }  // namespace
