@@ -1,0 +1,101 @@
+// Chaos campaigns: adversarial closed-loop runs with robustness metrics.
+//
+// A campaign replays the closed-loop TRMS (generate -> schedule -> observe ->
+// refresh) on a DES clock while the scenario's CampaignConfig perturbs it:
+// adversarial domains misbehave per their BehaviorEngine strategy, a
+// FaultInjector crashes and slows machines and drops or delays
+// recommendation reports as first-class "chaos_fault" events, and collusive
+// alliances forge recommendations through the very path the paper's
+// recommender factor R is designed to police.
+//
+// The output answers the robustness question the clean experiments cannot:
+// how quickly does the trust machinery *detect* misbehaving domains
+// (detection latency, misclassification rate), and how much of the damage
+// does trust-aware scheduling absorb (true trust cost and makespan
+// degradation vs a clean baseline)?  Everything is a pure function of
+// (scenario, config, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/config.hpp"
+#include "obs/report.hpp"
+#include "sim/experiment.hpp"
+#include "trust/trust_engine.hpp"
+#include "trust/trust_table.hpp"
+
+namespace gridtrust::chaos {
+
+/// How the campaign's closed loop runs (the clean-loop knobs; the
+/// adversarial knobs live in the scenario's CampaignConfig).
+struct CampaignRunConfig {
+  /// Scheduling rounds; each lasts round_period seconds of DES time.
+  std::size_t rounds = 16;
+  std::size_t tasks_per_round = 40;
+  double round_period = 60.0;
+  /// Trust-aware (TC-priced, table-driven) vs trust-unaware (EEC-only
+  /// placement, blanket security) scheduling arm.
+  bool trust_aware = true;
+  /// When false the table never updates (ablation: how much of the
+  /// robustness comes from trust *evolution* rather than trust *pricing*).
+  bool adaptive = true;
+  /// Every table entry starts here — strangers get the benefit of the doubt,
+  /// which is exactly what whitewashing exploits.
+  trust::TrustLevel initial_level = trust::TrustLevel::kE;
+  /// Observations required before an agent may update a table entry.
+  std::uint64_t min_transactions = 3;
+  trust::TrustEngineConfig engine;
+  /// Latent conduct means of domains without an adversary spec.
+  double honest_rd_mean = 5.4;
+  double honest_cd_mean = 5.2;
+  /// Observation noise around the latent conduct mean.
+  double conduct_sigma = 0.3;
+};
+
+/// Per-round robustness metrics.
+struct CampaignRoundMetrics {
+  std::size_t round = 0;
+  double makespan = 0.0;
+  /// Mean trust cost priced against each chosen domain's *true* conduct this
+  /// round — what the placements actually expose, whatever the table says.
+  double mean_true_trust_cost = 0.0;
+  /// Mean trust cost the table believed for the same placements.
+  double mean_table_trust_cost = 0.0;
+  /// Fraction of resource domains whose adversary label the table gets
+  /// wrong (believed mean level < 3 <=> ground-truth adversarial).
+  double misclassification_rate = 0.0;
+  std::size_t table_updates = 0;
+  /// Machines inside a crash window when the round was scheduled.
+  std::size_t machines_down = 0;
+};
+
+/// Outcome of one campaign.
+struct CampaignResult {
+  std::vector<CampaignRoundMetrics> rounds;
+  ChaosCounters counters;
+  /// First round from which the misclassification rate stays zero;
+  /// -1 when the table never converges on the ground truth.
+  int detection_latency_rounds = -1;
+  /// Means over the last half of the rounds (the learned steady state).
+  double steady_true_trust_cost = 0.0;
+  double steady_makespan = 0.0;
+  double steady_misclassification = 0.0;
+  trust::TrustLevelTable final_table{1, 1, 1};
+  std::uint64_t transactions = 0;
+
+  /// Scalars as a uniform obs::RunReport: rounds, detection_latency_rounds,
+  /// steady_true_trust_cost, steady_makespan, steady_misclassification,
+  /// transactions, plus the chaos.* counters.
+  obs::RunReport report() const;
+};
+
+/// Runs one campaign: draws the topology from `scenario` (its `chaos` field
+/// supplies adversaries and faults; empty means a clean control run), then
+/// plays `config.rounds` scheduling rounds on a DES clock.  Identical
+/// (scenario, config, seed) triples produce identical results.
+CampaignResult run_campaign(const sim::Scenario& scenario,
+                            const CampaignRunConfig& config,
+                            std::uint64_t seed);
+
+}  // namespace gridtrust::chaos

@@ -30,6 +30,12 @@ RunReport& RunReport::set(const std::string& name, double value) {
   return *this;
 }
 
+RunReport& RunReport::set_count(const std::string& name, std::uint64_t value) {
+  GT_REQUIRE(value <= (std::uint64_t{1} << 53),
+             "count too large to represent exactly as a double");
+  return set(name, static_cast<double>(value));
+}
+
 RunReport& RunReport::set_series(const std::string& name,
                                  std::vector<double> values) {
   Entry& entry = upsert(name);

@@ -10,6 +10,7 @@
 // "makespan", "aware.makespan_mean", "rounds.misplaced_fraction".
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +23,11 @@ class RunReport {
  public:
   /// Sets a scalar (overwrites an existing entry of either shape).
   RunReport& set(const std::string& name, double value);
+
+  /// Sets a scalar from an exact event count.  Counts above 2^53 would lose
+  /// precision in the double-backed store (and in JSON); the report layer is
+  /// for run summaries, so that is rejected rather than rounded.
+  RunReport& set_count(const std::string& name, std::uint64_t value);
 
   /// Sets a series (per-round / per-replication vectors).
   RunReport& set_series(const std::string& name, std::vector<double> values);

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "chaos/faults.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "sched/problem.hpp"
@@ -41,6 +42,7 @@ obs::RunReport ComparisonResult::report() const {
   out.set("makespan_cmp.mean_diff", makespan_cmp.mean_diff);
   out.set("makespan_cmp.ci95_diff", makespan_cmp.ci95_diff);
   out.set("makespan_cmp.significant", makespan_cmp.significant ? 1.0 : 0.0);
+  if (!scenario.chaos.empty()) chaos.to_report(out);
   return out;
 }
 
@@ -60,10 +62,19 @@ Instance draw_instance(const Scenario& scenario,
   std::vector<double> arrivals;
   arrivals.reserve(requests.size());
   for (const grid::Request& r : requests) arrivals.push_back(r.arrival_time);
+  chaos::FaultApplication faults;
+  if (!scenario.chaos.faults.empty()) {
+    // Machine faults sampled at each request's arrival time perturb the
+    // drawn costs; the empty-config case never reaches this branch, keeping
+    // clean instances bit-identical to pre-chaos draws.
+    const chaos::FaultTimeline timeline(scenario.chaos.faults);
+    faults = chaos::apply_machine_faults(timeline, arrivals, eec,
+                                         scenario.chaos.crash_penalty);
+  }
   sched::SchedulingProblem problem(std::move(eec), std::move(tc), policy,
                                    model, std::move(arrivals));
   return Instance{std::move(grid), std::move(table), std::move(requests),
-                  std::move(problem)};
+                  std::move(problem), faults};
 }
 
 SimulationResult run_single(const Scenario& scenario,
@@ -85,6 +96,7 @@ ComparisonResult run_comparison(const Scenario& scenario,
   std::vector<double> aware_mk(replications);
   std::vector<SimulationResult> unaware_runs(replications);
   std::vector<SimulationResult> aware_runs(replications);
+  std::vector<chaos::FaultApplication> faults(replications);
 
   kComparisons.add();
   const Rng master(seed);
@@ -101,6 +113,7 @@ ComparisonResult run_comparison(const Scenario& scenario,
         scenario.rms);
     unaware_mk[i] = unaware_runs[i].makespan;
     aware_mk[i] = aware_runs[i].makespan;
+    faults[i] = instance.faults;
   };
 
   if (pool != nullptr) {
@@ -120,6 +133,9 @@ ComparisonResult run_comparison(const Scenario& scenario,
     result.aware.mean_flow_time.add(aware_runs[i].mean_flow_time);
     result.aware.flow_time_p95.add(aware_runs[i].flow_time_p95);
     result.aware.batches.add(static_cast<double>(aware_runs[i].batches));
+  }
+  for (const chaos::FaultApplication& f : faults) {
+    result.chaos.faults_injected += f.windows_applied;
   }
   result.makespan_cmp = paired_comparison(unaware_mk, aware_mk);
   result.improvement_pct = result.makespan_cmp.improvement_pct;

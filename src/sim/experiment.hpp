@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/config.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -40,6 +41,12 @@ struct Scenario {
   sched::SecurityCostConfig security;
   /// RMS mode + heuristic + batch interval.
   TrmsConfig rms;
+  /// Adversaries and faults (gridtrust::chaos).  Empty (the default) leaves
+  /// every path untouched — results are bit-identical to a scenario without
+  /// the field.  The static experiment path applies the machine faults to
+  /// each drawn instance's EEC matrix; adversary behaviour only matters to
+  /// the closed-loop campaign driver (chaos::run_campaign).
+  chaos::CampaignConfig chaos;
 
   Scenario() { requests.arrival_rate = 1.0; }
 };
@@ -63,11 +70,14 @@ struct ComparisonResult {
   PairedComparison makespan_cmp;
   /// The paper's headline number: mean improvement of the makespan.
   double improvement_pct = 0.0;
+  /// Chaos accounting summed over replications (all zero for clean runs).
+  chaos::ChaosCounters chaos;
 
   /// Aggregates as a uniform obs::RunReport.  Per-policy means live under
   /// `unaware.*` / `aware.*` (makespan, utilization_pct, mean_flow_time,
   /// flow_time_p95, batches); the paired comparison under `makespan_cmp.*`;
-  /// plus top-level replications, tasks, and improvement_pct.
+  /// plus top-level replications, tasks, and improvement_pct.  Scenarios
+  /// with a non-empty chaos config additionally carry the chaos.* counters.
   obs::RunReport report() const;
 };
 
@@ -87,6 +97,9 @@ struct Instance {
   trust::TrustLevelTable table;
   std::vector<grid::Request> requests;
   sched::SchedulingProblem problem;
+  /// What the scenario's machine faults did to this instance's EEC matrix
+  /// (all zero when the scenario declares no faults).
+  chaos::FaultApplication faults;
 };
 
 /// Draws one instance from `scenario` using `rng` (which is advanced).

@@ -107,6 +107,25 @@ ScenarioBuilder& ScenarioBuilder::table_correlation(
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::with_adversaries(
+    const std::vector<chaos::AdversarySpec>& adversaries) {
+  scenario_.chaos.adversaries.insert(scenario_.chaos.adversaries.end(),
+                                     adversaries.begin(), adversaries.end());
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::with_faults(
+    const std::vector<chaos::FaultSpec>& faults) {
+  scenario_.chaos.faults.insert(scenario_.chaos.faults.end(), faults.begin(),
+                                faults.end());
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::with_campaign(chaos::CampaignConfig config) {
+  scenario_.chaos = std::move(config);
+  return *this;
+}
+
 Scenario ScenarioBuilder::build() const {
   const Scenario& s = scenario_;
   GT_REQUIRE(s.tasks >= 1, "tasks: need at least one request");
@@ -137,6 +156,10 @@ Scenario ScenarioBuilder::build() const {
             "' is not an immediate heuristic (expected " +
             join(sched::immediate_heuristic_names()) + ")");
   }
+  // Parameter-range validation for the chaos config; domain indices are
+  // checked against the drawn grid by the consumers (BehaviorEngine,
+  // FaultInjector, run_campaign).
+  s.chaos.validate();
   return scenario_;
 }
 

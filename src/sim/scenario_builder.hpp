@@ -72,6 +72,17 @@ class ScenarioBuilder {
   /// Correlation structure of the random trust-level table.
   ScenarioBuilder& table_correlation(workload::TableCorrelation correlation);
 
+  /// Appends adversarial domains to the scenario's chaos campaign.
+  ScenarioBuilder& with_adversaries(
+      const std::vector<chaos::AdversarySpec>& adversaries);
+
+  /// Appends fault windows to the scenario's chaos campaign.
+  ScenarioBuilder& with_faults(const std::vector<chaos::FaultSpec>& faults);
+
+  /// Replaces the whole chaos campaign config (adversaries + faults +
+  /// crash penalty) in one call.
+  ScenarioBuilder& with_campaign(chaos::CampaignConfig config);
+
   /// Validates the accumulated configuration and returns the Scenario.
   /// Throws gridtrust::PreconditionError with a field-naming message on any
   /// violation (zero tasks/machines, unknown heuristic for the mode,

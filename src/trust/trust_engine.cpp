@@ -227,6 +227,25 @@ std::size_t TrustEngine::prune(double before) {
   return removed;
 }
 
+std::size_t TrustEngine::forget(EntityId entity) {
+  check_entity(entity);
+  std::size_t removed = 0;
+  for (auto it = direct_.begin(); it != direct_.end();) {
+    if (it->first.truster == entity || it->first.trustee == entity) {
+      it = direct_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (EntityId x = 0; x < entities_; ++x) {
+    learned_weight_[x][entity] = 1.0;
+    learned_weight_[entity][x] = 1.0;
+  }
+  kDirectRecords.set(static_cast<double>(direct_.size()));
+  return removed;
+}
+
 void TrustEngine::learn_recommenders(const Transaction& tx) {
   // The evaluator just observed tx.observed_score first-hand.  Compare every
   // third party's stored opinion of the trustee against this ground truth

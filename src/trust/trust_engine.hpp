@@ -139,6 +139,14 @@ class TrustEngine {
   /// transaction counter is not rewound — it counts history, not storage.
   std::size_t prune(double before);
 
+  /// Erases every record in which `entity` appears as truster or trustee and
+  /// resets the learned recommender weights involving it — the engine-side
+  /// effect of an identity reset (a domain leaving, or a whitewashing
+  /// adversary re-registering under a fresh name).  Returns the number of
+  /// records removed.  As with prune(), the transaction counter is history
+  /// and is not rewound.
+  std::size_t forget(EntityId entity);
+
  private:
   struct TripleKey {
     EntityId truster;
