@@ -1,5 +1,7 @@
 // Ablation: meta-request formation interval vs makespan and flow time under
-// Poisson load (batch-mode RMS, Min-min and Sufferage).
+// Poisson load (batch-mode RMS, Min-min and Sufferage).  The sweep lives in
+// the lab catalog as `ablation_batch_interval`; this binary runs it on the
+// sweep engine.
 #include <iostream>
 
 #include "support.hpp"
@@ -7,36 +9,12 @@
 int main(int argc, char** argv) {
   using namespace gridtrust;
   CliParser cli("bench_ablation_batch_interval",
-                "Batch-interval sensitivity of the batch-mode TRMS");
-  bench::add_common_flags(cli);
-  cli.add_int("tasks", 100, "tasks per replication");
+                "Batch-interval sensitivity of the batch-mode TRMS "
+                "(lab spec `ablation_batch_interval`)");
+  bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  const auto replications =
-      static_cast<std::size_t>(cli.get_int("replications"));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-
-  TextTable table({"heuristic", "interval (s)", "batches", "aware makespan",
-                   "aware mean flow", "aware flow p95", "improvement"});
-  table.set_title("Meta-request interval sweep (inconsistent LoLo, " +
-                  std::to_string(cli.get_int("tasks")) + " tasks)");
-  for (const std::string heuristic : {"min-min", "sufferage"}) {
-    for (const double interval : {5.0, 15.0, 30.0, 60.0, 120.0}) {
-      sim::Scenario scenario = bench::scenario_from_flags(cli);
-      scenario.tasks = static_cast<std::size_t>(cli.get_int("tasks"));
-      scenario.rms.mode = sim::SchedulingMode::kBatch;
-      scenario.rms.heuristic = heuristic;
-      scenario.rms.batch_interval = interval;
-      const auto r = sim::run_comparison(scenario, replications, seed);
-      table.add_row({heuristic, format_grouped(interval, 0),
-                     format_grouped(r.aware.batches.mean(), 1),
-                     format_grouped(r.aware.makespan.mean(), 1),
-                     format_grouped(r.aware.mean_flow_time.mean(), 1),
-                     format_grouped(r.aware.flow_time_p95.mean(), 1),
-                     format_percent(r.improvement_pct)});
-    }
-    table.add_separator();
-  }
-  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  bench::run_catalog_spec(cli, "ablation_batch_interval",
+                          /*paper_layout=*/false);
   std::cout << "\nreading: long intervals trade flow time (requests wait for "
                "the batch) for marginal makespan differences.\n";
   return 0;

@@ -1,6 +1,7 @@
 // Ablation: sensitivity to the ESC pricing constants.  The paper picks the
-// TC weight "arbitrarily" as 15 % and the blanket rate as 50 %; this bench
-// sweeps both and reports where the trust-aware advantage crosses zero.
+// TC weight "arbitrarily" as 15 % and the blanket rate as 50 %; the lab
+// catalog sweeps both (`ablation_trust_weight`, `ablation_blanket`) and
+// this binary runs the pair on the sweep engine.
 #include <iostream>
 
 #include "support.hpp"
@@ -8,42 +9,14 @@
 int main(int argc, char** argv) {
   using namespace gridtrust;
   CliParser cli("bench_ablation_trust_weight",
-                "Sweeps the TC weight and blanket rate of the ESC model");
-  bench::add_common_flags(cli);
-  cli.add_int("tasks", 50, "tasks per replication");
+                "Sweeps the TC weight and blanket rate of the ESC model "
+                "(lab specs `ablation_trust_weight`, `ablation_blanket`)");
+  bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  const auto replications =
-      static_cast<std::size_t>(cli.get_int("replications"));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-
-  TextTable weight_table({"TC weight %", "blanket %", "improvement",
-                          "significant"});
-  weight_table.set_title(
-      "ESC pricing sweep (MCT, inconsistent LoLo; paper uses weight 15, "
-      "blanket 50)");
-  for (const double weight : {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    sim::Scenario scenario = bench::scenario_from_flags(cli);
-    scenario.tasks = static_cast<std::size_t>(cli.get_int("tasks"));
-    scenario.security.tc_weight_pct = weight;
-    const auto r = sim::run_comparison(scenario, replications, seed);
-    weight_table.add_row({format_grouped(weight, 0),
-                          format_grouped(scenario.security.blanket_pct, 0),
-                          format_percent(r.improvement_pct),
-                          r.makespan_cmp.significant ? "yes" : "no"});
-  }
-  weight_table.add_separator();
-  for (const double blanket : {10.0, 25.0, 50.0, 75.0, 100.0}) {
-    sim::Scenario scenario = bench::scenario_from_flags(cli);
-    scenario.tasks = static_cast<std::size_t>(cli.get_int("tasks"));
-    scenario.security.blanket_pct = blanket;
-    const auto r = sim::run_comparison(scenario, replications, seed);
-    weight_table.add_row({format_grouped(scenario.security.tc_weight_pct, 0),
-                          format_grouped(blanket, 0),
-                          format_percent(r.improvement_pct),
-                          r.makespan_cmp.significant ? "yes" : "no"});
-  }
-  std::cout << (cli.get_flag("csv") ? weight_table.to_csv()
-                                    : weight_table.to_string());
+  bench::run_catalog_spec(cli, "ablation_trust_weight",
+                          /*paper_layout=*/false);
+  std::cout << "\n";
+  bench::run_catalog_spec(cli, "ablation_blanket", /*paper_layout=*/false);
   std::cout << "\nreading: heavier TC pricing erodes the aware advantage; a "
                "cheaper blanket does the same from the other side.\n";
   return 0;

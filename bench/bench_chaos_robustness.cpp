@@ -1,148 +1,85 @@
 // Trust-robustness sweep: how much does each scheduling arm degrade as the
 // Grid turns hostile?
 //
-// For malicious-machine fractions of 0/10/20/40 % the bench runs paired
-// chaos campaigns (trust-aware vs trust-unaware, identical seeds) for the
-// paper's three headline heuristics and measures the *true* trust cost of
-// the steady-state placements — priced against each domain's latent conduct,
-// not against the table's beliefs.  The acceptance property: the trust-aware
-// arm must degrade strictly less than the trust-unaware arm at every
-// non-zero fraction, for every heuristic — otherwise the trust machinery is
-// not buying robustness and the bench exits non-zero.
+// The sweep itself (heuristic x malicious fraction x trust arm, paired
+// chaos campaigns priced against each domain's *latent* conduct) lives in
+// the lab catalog as `chaos_robustness`; this binary runs it on the sweep
+// engine and then applies the acceptance property to the manifest: the
+// trust-aware arm must degrade strictly less than the trust-unaware arm at
+// every non-zero fraction, for every heuristic — otherwise the trust
+// machinery is not buying robustness and the bench exits non-zero.
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
-#include "chaos/campaign.hpp"
-#include "common/cli.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
-#include "obs/export.hpp"
-#include "sim/scenario_builder.hpp"
+#include "support.hpp"
 
 int main(int argc, char** argv) {
   using namespace gridtrust;
 
   CliParser cli("bench_chaos_robustness",
                 "Trust-aware vs trust-unaware degradation under a sweep of "
-                "malicious-machine fractions");
-  cli.add_int("rounds", 12, "scheduling rounds per campaign");
-  cli.add_int("tasks", 40, "tasks per round");
-  cli.add_int("seeds", 3, "independent campaigns to average");
-  cli.add_int("rds", 10, "resource domains (= machines, one each)");
-  cli.add_flag("csv", "emit CSV instead of the ASCII table");
-  obs::add_metrics_flags(cli);
+                "malicious-machine fractions (lab spec `chaos_robustness`)");
+  bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  obs::MetricsExportScope metrics(cli);
 
-  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
-  const auto tasks = static_cast<std::size_t>(cli.get_int("tasks"));
-  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
-  const auto n_rd = static_cast<std::size_t>(cli.get_int("rds"));
-  const std::vector<std::size_t> fractions_pct = {0, 10, 20, 40};
-  const std::vector<std::pair<std::string, bool>> heuristics = {
-      {"mct", false}, {"min-min", true}, {"sufferage", true}};
+  const lab::SweepRun run =
+      bench::run_catalog_spec(cli, "chaos_robustness", /*paper_layout=*/false);
 
-  struct ArmOutcome {
-    double true_tc = 0.0;
-    double makespan = 0.0;
-    double detection = 0.0;
-  };
-
-  const auto run_arm = [&](const std::string& heuristic, bool batch_mode,
-                           std::size_t pct, bool aware) {
-    // One machine per resource domain: a malicious-RD fraction is exactly a
-    // malicious-machine fraction.
-    sim::ScenarioBuilder builder;
-    builder.machines(n_rd)
-        .resource_domains(n_rd, n_rd)
-        .client_domains(3, 3)
-        .heuristic(heuristic)
-        .inconsistent();
-    if (batch_mode) builder.batch(30.0);
-    std::vector<chaos::AdversarySpec> adversaries;
-    if (pct > 0) {
-      const std::size_t n_mal = std::max<std::size_t>(
-          1, (pct * n_rd + 50) / 100);
-      for (std::size_t rd = 0; rd < n_mal; ++rd) {
-        chaos::AdversarySpec spec;
-        spec.side = chaos::AdversarySide::kResourceDomain;
-        spec.domain = rd;
-        spec.kind = chaos::BehaviorKind::kMalicious;
-        adversaries.push_back(spec);
+  // Index the manifest: (heuristic, malicious %, aware arm) -> steady true
+  // trust cost, then check the acceptance inequality per heuristic and
+  // fraction.
+  std::map<std::tuple<std::string, double, bool>, double> true_tc;
+  std::vector<double> fractions;
+  std::vector<std::string> heuristics;
+  for (const lab::ManifestCell& cell : run.manifest.cells) {
+    std::string heuristic;
+    double pct = 0.0;
+    bool aware = false;
+    for (const auto& [key, value] : cell.params) {
+      if (key == "heuristic") heuristic = value.text();
+      if (key == "malicious_pct") pct = value.number();
+      if (key == "trust_aware") aware = value.number() != 0.0;
+    }
+    for (const auto& [name, metric] : cell.metrics) {
+      if (name == "steady_true_trust_cost") {
+        true_tc[{heuristic, pct, aware}] = metric.mean;
       }
     }
-    const sim::Scenario scenario =
-        builder.with_adversaries(adversaries).build();
-
-    chaos::CampaignRunConfig config;
-    config.rounds = rounds;
-    config.tasks_per_round = tasks;
-    config.trust_aware = aware;
-    RunningStats tc_stats;
-    RunningStats mk_stats;
-    RunningStats detect_stats;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      const chaos::CampaignResult run =
-          chaos::run_campaign(scenario, config, seed + 17);
-      tc_stats.add(run.steady_true_trust_cost);
-      mk_stats.add(run.steady_makespan);
-      detect_stats.add(static_cast<double>(run.detection_latency_rounds));
-    }
-    return ArmOutcome{tc_stats.mean(), mk_stats.mean(), detect_stats.mean()};
-  };
-
-  TextTable table({"heuristic", "malicious", "arm", "steady true TC",
-                   "ΔTC vs clean", "steady makespan", "detect (rounds)"});
-  table.set_title("Trust robustness under adversarial machine fractions");
+    if (std::find(fractions.begin(), fractions.end(), pct) == fractions.end())
+      fractions.push_back(pct);
+    if (std::find(heuristics.begin(), heuristics.end(), heuristic) ==
+        heuristics.end())
+      heuristics.push_back(heuristic);
+  }
 
   bool pass = true;
   std::vector<std::string> violations;
-  bool first_block = true;
-  for (const auto& [heuristic, batch_mode] : heuristics) {
-    if (!first_block) table.add_separator();
-    first_block = false;
-    std::map<std::pair<std::size_t, bool>, ArmOutcome> outcomes;
-    bool first_row = true;
-    for (const std::size_t pct : fractions_pct) {
-      for (const bool aware : {false, true}) {
-        const ArmOutcome out = run_arm(heuristic, batch_mode, pct, aware);
-        outcomes[{pct, aware}] = out;
-        const double degradation =
-            out.true_tc - outcomes[{0, aware}].true_tc;
-        if (!first_row && aware == false) table.add_separator();
-        first_row = false;
-        table.add_row({heuristic, std::to_string(pct) + " %",
-                       aware ? "trust-aware" : "trust-unaware",
-                       format_grouped(out.true_tc, 3),
-                       format_grouped(degradation, 3),
-                       format_grouped(out.makespan, 1),
-                       aware ? format_grouped(out.detection, 1) : "-"});
-      }
-    }
-    // The acceptance inequality, per heuristic and fraction.
-    for (const std::size_t pct : fractions_pct) {
-      if (pct == 0) continue;
-      const double unaware_deg = outcomes[{pct, false}].true_tc -
-                                 outcomes[{0, false}].true_tc;
-      const double aware_deg =
-          outcomes[{pct, true}].true_tc - outcomes[{0, true}].true_tc;
+  for (const std::string& heuristic : heuristics) {
+    for (const double pct : fractions) {
+      if (pct == 0.0) continue;
+      const double unaware_deg = true_tc[{heuristic, pct, false}] -
+                                 true_tc[{heuristic, 0.0, false}];
+      const double aware_deg = true_tc[{heuristic, pct, true}] -
+                               true_tc[{heuristic, 0.0, true}];
       if (!(aware_deg < unaware_deg)) {
         pass = false;
-        violations.push_back(heuristic + " @ " + std::to_string(pct) +
+        violations.push_back(heuristic + " @ " + format_grouped(pct, 0) +
                              " %: aware degradation " +
-                             format_grouped(aware_deg, 3) +
-                             " !< unaware " + format_grouped(unaware_deg, 3));
+                             format_grouped(aware_deg, 3) + " !< unaware " +
+                             format_grouped(unaware_deg, 3));
       }
     }
   }
 
-  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
   std::cout << "\nreading: the trust-unaware arm keeps placing work on "
                "machines whose domains misbehave, so its true trust cost "
                "climbs with the malicious fraction; the trust-aware arm "
-               "learns the adversaries (detection column) and routes around "
+               "learns the adversaries (detection metric) and routes around "
                "them, degrading strictly less at every fraction.\n";
   if (pass) {
     std::cout << "robustness check: PASS (trust-aware degrades strictly "

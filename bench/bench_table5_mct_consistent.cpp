@@ -1,16 +1,14 @@
 // Reproduces Table 5: average completion time, consistent LoLo
-// heterogeneity, mct heuristic, trust-unaware vs trust-aware.
+// heterogeneity, mct heuristic, trust-unaware vs trust-aware.  The
+// condition lives in the lab catalog as `table5`; this binary just runs it
+// on the sweep engine and renders the paper layout.
 #include "support.hpp"
 
 int main(int argc, char** argv) {
   gridtrust::CliParser cli(
       "bench_table5_mct_consistent",
-      "Reproduces Table 5 (mct, consistent LoLo)");
-  gridtrust::bench::add_common_flags(cli);
+      "Reproduces Table 5 (mct, consistent LoLo) via the lab spec `table5`");
+  gridtrust::bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  return gridtrust::bench::run_paper_table(
-      cli, "5",
-      gridtrust::sim::ScenarioBuilder().heuristic("mct").immediate()
-          .consistent(),
-      "improvements 34.44%/34.26% at 50/100 tasks");
+  return gridtrust::bench::run_paper_table_spec(cli, "table5");
 }

@@ -1,16 +1,15 @@
 // Reproduces Table 6: average completion time, inconsistent LoLo
-// heterogeneity, min-min heuristic, trust-unaware vs trust-aware.
+// heterogeneity, min-min heuristic (batch mode), trust-unaware vs
+// trust-aware.  The condition lives in the lab catalog as `table6`; this
+// binary just runs it on the sweep engine and renders the paper layout.
 #include "support.hpp"
 
 int main(int argc, char** argv) {
   gridtrust::CliParser cli(
       "bench_table6_min_min_inconsistent",
-      "Reproduces Table 6 (min-min, inconsistent LoLo)");
-  gridtrust::bench::add_common_flags(cli);
+      "Reproduces Table 6 (min-min, inconsistent LoLo) via the lab spec "
+      "`table6`");
+  gridtrust::bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  return gridtrust::bench::run_paper_table(
-      cli, "6",
-      gridtrust::sim::ScenarioBuilder().heuristic("min-min").batch()
-          .inconsistent(),
-      "improvements 23.51%/23.34% at 50/100 tasks");
+  return gridtrust::bench::run_paper_table_spec(cli, "table6");
 }

@@ -1,16 +1,15 @@
 // Reproduces Table 7: average completion time, consistent LoLo
-// heterogeneity, min-min heuristic, trust-unaware vs trust-aware.
+// heterogeneity, min-min heuristic (batch mode), trust-unaware vs
+// trust-aware.  The condition lives in the lab catalog as `table7`; this
+// binary just runs it on the sweep engine and renders the paper layout.
 #include "support.hpp"
 
 int main(int argc, char** argv) {
   gridtrust::CliParser cli(
       "bench_table7_min_min_consistent",
-      "Reproduces Table 7 (min-min, consistent LoLo)");
-  gridtrust::bench::add_common_flags(cli);
+      "Reproduces Table 7 (min-min, consistent LoLo) via the lab spec "
+      "`table7`");
+  gridtrust::bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  return gridtrust::bench::run_paper_table(
-      cli, "7",
-      gridtrust::sim::ScenarioBuilder().heuristic("min-min").batch()
-          .consistent(),
-      "improvements 25.28%/25.32% at 50/100 tasks");
+  return gridtrust::bench::run_paper_table_spec(cli, "table7");
 }

@@ -1,16 +1,15 @@
 // Reproduces Table 8: average completion time, inconsistent LoLo
-// heterogeneity, sufferage heuristic, trust-unaware vs trust-aware.
+// heterogeneity, sufferage heuristic (batch mode), trust-unaware vs
+// trust-aware.  The condition lives in the lab catalog as `table8`; this
+// binary just runs it on the sweep engine and renders the paper layout.
 #include "support.hpp"
 
 int main(int argc, char** argv) {
   gridtrust::CliParser cli(
       "bench_table8_sufferage_inconsistent",
-      "Reproduces Table 8 (sufferage, inconsistent LoLo)");
-  gridtrust::bench::add_common_flags(cli);
+      "Reproduces Table 8 (sufferage, inconsistent LoLo) via the lab spec "
+      "`table8`");
+  gridtrust::bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  return gridtrust::bench::run_paper_table(
-      cli, "8",
-      gridtrust::sim::ScenarioBuilder().heuristic("sufferage").batch()
-          .inconsistent(),
-      "improvements 39.66%/38.40% at 50/100 tasks");
+  return gridtrust::bench::run_paper_table_spec(cli, "table8");
 }

@@ -1,16 +1,15 @@
 // Reproduces Table 9: average completion time, consistent LoLo
-// heterogeneity, sufferage heuristic, trust-unaware vs trust-aware.
+// heterogeneity, sufferage heuristic (batch mode), trust-unaware vs
+// trust-aware.  The condition lives in the lab catalog as `table9`; this
+// binary just runs it on the sweep engine and renders the paper layout.
 #include "support.hpp"
 
 int main(int argc, char** argv) {
   gridtrust::CliParser cli(
       "bench_table9_sufferage_consistent",
-      "Reproduces Table 9 (sufferage, consistent LoLo)");
-  gridtrust::bench::add_common_flags(cli);
+      "Reproduces Table 9 (sufferage, consistent LoLo) via the lab spec "
+      "`table9`");
+  gridtrust::bench::add_lab_flags(cli);
   cli.parse(argc, argv);
-  return gridtrust::bench::run_paper_table(
-      cli, "9",
-      gridtrust::sim::ScenarioBuilder().heuristic("sufferage").batch()
-          .consistent(),
-      "improvements 32.67%/33.19% at 50/100 tasks");
+  return gridtrust::bench::run_paper_table_spec(cli, "table9");
 }

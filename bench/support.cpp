@@ -1,8 +1,12 @@
 #include "support.hpp"
 
+#include <fstream>
 #include <iostream>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
+#include "lab/catalog.hpp"
+#include "lab/render.hpp"
 #include "obs/export.hpp"
 #include "workload/heterogeneity.hpp"
 
@@ -41,53 +45,70 @@ sim::Scenario scenario_from_flags(const CliParser& cli) {
   return builder_from_flags(cli).build();
 }
 
-int run_paper_table(const CliParser& cli, const std::string& table_number,
-                    const sim::ScenarioBuilder& base,
-                    const std::string& paper_reference) {
-  const auto replications =
-      static_cast<std::size_t>(cli.get_int("replications"));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+void add_lab_flags(CliParser& cli) {
+  cli.add_int("replications", 0,
+              "replication-count override (0 = the spec's own)");
+  cli.add_int("seed", 20020815, "master seed override");
+  cli.add_int("jobs", 0,
+              "worker threads (0 = shared hardware-sized pool, 1 = serial; "
+              "results are identical for every value)");
+  cli.add_string("cache-dir", "", "result-cache directory (empty = off)");
+  cli.add_string("out", "", "write the sweep manifest to this path");
+  cli.add_flag("csv", "emit CSV rows instead of the ASCII table");
+  obs::add_metrics_flags(cli);
+}
+
+lab::EngineOptions engine_options_from_flags(const CliParser& cli) {
+  lab::EngineOptions options;
+  options.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (cli.was_set("seed")) {
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  }
+  if (cli.get_int("replications") > 0) {
+    options.replications =
+        static_cast<std::size_t>(cli.get_int("replications"));
+  }
+  options.cache_dir = cli.get_string("cache-dir");
+  return options;
+}
+
+lab::SweepRun run_catalog_spec(const CliParser& cli,
+                               const std::string& spec_name,
+                               bool paper_layout) {
+  const lab::SweepSpec* spec = lab::find_spec(spec_name);
+  GT_REQUIRE(spec != nullptr, "unregistered catalog spec: " + spec_name);
   obs::MetricsExportScope metrics(cli);
+  const lab::SweepRun run =
+      lab::run_sweep(*spec, engine_options_from_flags(cli));
 
-  const std::string heuristic = base.peek().rms.heuristic;
-  const bool batch = base.peek().rms.mode == sim::SchedulingMode::kBatch;
-  const bool consistent = base.peek().heterogeneity.consistency ==
-                          workload::Consistency::kConsistent;
+  const TextTable table =
+      paper_layout ? lab::paper_schedule_table(spec->title, run.manifest)
+                   : lab::sweep_table(*spec, run.manifest);
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  for (const std::string& line : lab::paired_summaries(run.manifest)) {
+    std::cout << "  " << line << "\n";
+  }
+  std::cout << "  expected: " << spec->expected << "\n"
+            << "  " << run.cells << " cells, " << run.units_run
+            << " units run, " << run.cache_hits << " cache hits, "
+            << format_grouped(run.wall_seconds, 2) << " s wall"
+            << " (rerun with `gridtrust_lab run " << spec_name << "`)\n";
 
-  std::vector<sim::ComparisonResult> rows;
-  for (const std::int64_t tasks :
-       {cli.get_int("tasks-a"), cli.get_int("tasks-b")}) {
-    sim::ScenarioBuilder row = base;
-    row.tasks(static_cast<std::size_t>(tasks))
-        .machines(static_cast<std::size_t>(cli.get_int("machines")))
-        .arrival_rate(cli.get_double("arrival-rate"))
-        .tc_weight_pct(cli.get_double("tc-weight"))
-        .blanket_pct(cli.get_double("blanket"))
-        .forced_f(cli.get_flag("forced-f"))
-        .table_correlation(
-            cli.get_flag("iid-table")
-                ? workload::TableCorrelation::kIndependentPerActivity
-                : workload::TableCorrelation::kPairLevel);
-    if (batch) row.batch(cli.get_double("batch-interval"));
-    rows.push_back(sim::run_comparison(row.build(), replications, seed));
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    GT_REQUIRE(static_cast<bool>(out), "cannot write: " + out_path);
+    out << lab::to_json(run.manifest);
+    std::cout << "  manifest: " << out_path << "\n";
   }
+  return run;
+}
 
-  const std::string title =
-      "Table " + table_number + ". Comparison of average completion time for " +
-      std::string(consistent ? "consistent" : "inconsistent") +
-      " LoLo heterogeneity using the " + heuristic + " heuristic.";
-  const TextTable table = sim::paper_table(title, rows);
-  if (cli.get_flag("csv")) {
-    std::cout << table.to_csv();
-  } else {
-    std::cout << table << "\n";
-  }
-  for (const sim::ComparisonResult& row : rows) {
-    std::cout << "  " << sim::summarize(row) << "\n";
-  }
-  std::cout << "  paper reference: " << paper_reference << "\n"
-            << "  (absolute seconds depend on the EEC ranges; the paper's "
-               "testbed is unknown -- compare shapes, see EXPERIMENTS.md)\n";
+int run_paper_table_spec(const CliParser& cli, const std::string& spec_name) {
+  run_catalog_spec(cli, spec_name, /*paper_layout=*/true);
+  std::cout << "  (absolute seconds depend on the EEC ranges; the paper's "
+               "testbed is unknown -- compare shapes, see "
+               "docs/experiments-catalog.md)\n";
   return 0;
 }
 

@@ -1,21 +1,30 @@
-// Shared scaffolding for the table-reproduction bench binaries.
+// Shared scaffolding for the bench binaries.
 //
-// Each bench_tableN binary reproduces one paper table with a fast default
-// configuration (tens of milliseconds) and exposes flags for larger
-// replication counts, alternative seeds, CSV output, and a metrics dump
-// (--metrics-out, see docs/observability.md).
+// Two families live here:
+//
+//   * Catalog-backed benches (the six paper tables, the chaos robustness
+//     sweep, the pricing and batch-interval ablations) are thin wrappers
+//     over the lab sweep engine: `add_lab_flags` + `run_catalog_spec` run a
+//     registered spec (src/lab/catalog.cpp, docs/experiments-catalog.md)
+//     and render it.  The numbers they print are exactly the numbers
+//     `gridtrust_lab run <spec>` records in a manifest.
+//
+//   * Scenario benches that explore parameters no catalog spec fixes keep
+//     the original flag set: `add_common_flags` + `builder_from_flags` /
+//     `scenario_from_flags`.
 #pragma once
 
 #include <string>
 
 #include "common/cli.hpp"
+#include "lab/engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario_builder.hpp"
 
 namespace gridtrust::bench {
 
-/// Registers the flags shared by every scheduling-table bench (including
-/// the obs --metrics-out flag).
+/// Registers the flags shared by every scenario bench (including the obs
+/// --metrics-out flag).
 void add_common_flags(CliParser& cli);
 
 /// Seeds a ScenarioBuilder from the parsed shared flags (machines,
@@ -26,19 +35,26 @@ sim::ScenarioBuilder builder_from_flags(const CliParser& cli);
 /// Builds the base scenario for Tables 4-9 from parsed flags.
 sim::Scenario scenario_from_flags(const CliParser& cli);
 
-/// Runs one paper table (two task counts, trust no/yes) and prints it,
-/// followed by paired-CI summaries and the paper's reference values.
-/// `base` carries the table's fixed condition — heuristic, RMS mode, and
-/// heterogeneity class — e.g.
-///   run_paper_table(cli, "4",
-///                   sim::ScenarioBuilder().heuristic("mct").immediate()
-///                       .inconsistent(),
-///                   "improvements 36.99%/37.59% at 50/100 tasks");
-/// the shared flags (machines, task counts, pricing, ...) are applied on
-/// top for each row.  Returns 0 (success) so mains can
-/// `return run_paper_table(...)`.
-int run_paper_table(const CliParser& cli, const std::string& table_number,
-                    const sim::ScenarioBuilder& base,
-                    const std::string& paper_reference);
+/// Registers the flags shared by every catalog-backed bench: engine
+/// overrides (--replications, --seed, --jobs, --cache-dir), output
+/// (--out manifest path, --csv), and the obs --metrics-out flag.
+void add_lab_flags(CliParser& cli);
+
+/// Engine options from parsed `add_lab_flags` flags.
+lab::EngineOptions engine_options_from_flags(const CliParser& cli);
+
+/// Runs one registered catalog spec on the sweep engine and prints it:
+/// the paper's Tables 4-9 layout when `paper_layout`, the generic sweep
+/// grid otherwise, followed by paired-CI summaries, the spec's expected
+/// line, and run stats.  Writes the manifest when --out is set.  Returns
+/// the SweepRun so callers can layer acceptance checks on the manifest.
+lab::SweepRun run_catalog_spec(const CliParser& cli,
+                               const std::string& spec_name,
+                               bool paper_layout);
+
+/// Complete main body for the six table benches: runs `spec_name` and
+/// renders it in the paper's layout.  Returns 0 so mains can
+/// `return run_paper_table_spec(cli, "table4")`.
+int run_paper_table_spec(const CliParser& cli, const std::string& spec_name);
 
 }  // namespace gridtrust::bench

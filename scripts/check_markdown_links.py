@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Checks relative links in the repo's markdown files.
+
+Usage: check_markdown_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks README.md, CONTRIBUTING.md, EXPERIMENTS.md, and
+every *.md under docs/.  Each markdown link or image whose target is a
+relative path must point at an existing file or directory (URL fragments are
+stripped; http(s)/mailto/anchor-only targets are skipped).  Exits non-zero
+listing every broken link — CI's docs job runs this so the experiment
+catalog can't drift into dead references.
+"""
+import re
+import sys
+from pathlib import Path
+
+# [text](target) and ![alt](target); stops at the first unescaped ')'.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Inline code spans can legitimately contain "[x](y)"-shaped text.
+CODE_SPAN = re.compile(r"`[^`]*`")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_targets(root: Path):
+    for name in ("README.md", "CONTRIBUTING.md", "EXPERIMENTS.md"):
+        if (root / name).exists():
+            yield root / name
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(md: Path, root: Path):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(CODE_SPAN.sub("", line)):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}:{lineno}: broken link "
+                              f"-> {target}")
+    return broken
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        targets = []
+        for arg in argv:
+            p = Path(arg)
+            targets.extend(sorted(p.glob("*.md")) if p.is_dir() else [p])
+    else:
+        targets = list(default_targets(root))
+    broken = []
+    for md in targets:
+        broken.extend(check_file(md.resolve(), root))
+    for line in broken:
+        print(line)
+    print(f"checked {len(targets)} files: "
+          f"{'FAIL' if broken else 'OK'} ({len(broken)} broken)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,6 +7,11 @@
 
 namespace gridtrust {
 
+namespace {
+// Set for the duration of worker_loop so parallel_for can detect nested use.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -43,6 +48,12 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   GT_REQUIRE(body != nullptr, "parallel_for requires a body");
   if (n == 0) return;
+  if (on_worker_thread()) {
+    // Nested call from one of our own tasks: enqueueing would leave this
+    // worker blocked on sub-tasks that may never be picked up.  Run inline.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   // A shared atomic cursor balances uneven per-index costs.
   auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
   const std::size_t n_tasks = std::min(n, threads_.size());
@@ -69,7 +80,15 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);  // hardware concurrency; never destroyed early
+  return pool;
+}
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -40,7 +40,21 @@ class ThreadPool {
   /// Runs body(i) for i in [0, n), distributing indices over the pool and
   /// blocking until all complete.  The first exception thrown by any body
   /// is rethrown on the caller thread.
+  ///
+  /// Safe to call from inside one of this pool's own tasks: a nested call
+  /// runs its body inline on the calling worker instead of enqueueing (which
+  /// could deadlock with every worker waiting on queued sub-tasks).  Results
+  /// are identical either way — only the parallelism degrades.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// The process-wide shared pool, sized to the hardware and created on
+  /// first use.  Layers that each used to own a pool (sim::run_experiment
+  /// callers, the lab sweep engine) share this one so a process never
+  /// oversubscribes the machine with stacked pools.
+  static ThreadPool& shared();
 
  private:
   void worker_loop();

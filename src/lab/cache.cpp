@@ -1,0 +1,40 @@
+#include "lab/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json_in.hpp"
+
+namespace gridtrust::lab {
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  GT_REQUIRE(!dir_.empty(), "cache directory must not be empty");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string ResultCache::path_for(std::uint64_t key) const {
+  return dir_ + "/" + hash_hex(key) + ".json";
+}
+
+std::optional<ManifestCell> ResultCache::load(std::uint64_t key) const {
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_manifest_cell(obs::parse_json(buffer.str()));
+  } catch (const PreconditionError&) {
+    return std::nullopt;  // corrupt entry: treat as a miss, recompute
+  }
+}
+
+void ResultCache::store(std::uint64_t key, const ManifestCell& cell) const {
+  std::ofstream out(path_for(key), std::ios::trunc);
+  GT_REQUIRE(static_cast<bool>(out),
+             "cannot write cache entry: " + path_for(key));
+  out << cell_to_json(cell) << "\n";
+}
+
+}  // namespace gridtrust::lab

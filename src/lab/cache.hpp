@@ -1,0 +1,40 @@
+// Content-addressed result cache for sweep cells.
+//
+// A cell's outcome is a pure function of (spec name+version, seed,
+// replications, cell parameters) — exactly the words folded into its cache
+// key — so the engine can skip recomputing any cell whose key it has seen
+// before.  Editing the spec (new axis values, bumped version, different
+// seed) changes the affected keys and only those cells re-run; results load
+// back through the same parser as manifests, so a cache hit is bit-identical
+// to a fresh run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "lab/manifest.hpp"
+
+namespace gridtrust::lab {
+
+/// Directory-backed cache: one `<key>.json` file per cell (the
+/// cell_to_json shape).  Unreadable or corrupt entries count as misses.
+class ResultCache {
+ public:
+  /// Opens (creating if needed) the cache directory.
+  explicit ResultCache(std::string dir);
+
+  /// Loads the cell stored under `key`, or nullopt on a miss.
+  std::optional<ManifestCell> load(std::uint64_t key) const;
+
+  /// Stores `cell` under `key` (overwrites).
+  void store(std::uint64_t key, const ManifestCell& cell) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(std::uint64_t key) const;
+  std::string dir_;
+};
+
+}  // namespace gridtrust::lab

@@ -1,0 +1,308 @@
+#include "lab/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chaos/campaign.hpp"
+#include "common/rng.hpp"
+#include "sched/problem.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario_builder.hpp"
+#include "sim/trm_simulation.hpp"
+
+namespace gridtrust::lab {
+
+namespace {
+
+/// One paired replication on common random numbers — the unit the engine
+/// replicates and aggregates.  Mirrors sim::run_comparison's inner loop but
+/// reports through RunReport so any sweep can consume it.
+obs::RunReport paired_replication(const sim::Scenario& scenario,
+                                  std::uint64_t rep_seed) {
+  Rng rng(rep_seed);
+  const sim::Instance instance =
+      sim::draw_instance(scenario, sched::trust_unaware_policy(), rng);
+  const sim::SimulationResult unaware =
+      sim::run_trms(instance.problem, scenario.rms);
+  const sim::SimulationResult aware = sim::run_trms(
+      instance.problem.with_policy(sched::trust_aware_policy()), scenario.rms);
+  obs::RunReport report;
+  report.set("unaware.makespan", unaware.makespan);
+  report.set("unaware.utilization_pct", unaware.utilization_pct);
+  report.set("unaware.mean_flow_time", unaware.mean_flow_time);
+  report.set("unaware.flow_time_p95", unaware.flow_time_p95);
+  report.set("unaware.batches", static_cast<double>(unaware.batches));
+  report.set("aware.makespan", aware.makespan);
+  report.set("aware.utilization_pct", aware.utilization_pct);
+  report.set("aware.mean_flow_time", aware.mean_flow_time);
+  report.set("aware.flow_time_p95", aware.flow_time_p95);
+  report.set("aware.batches", static_cast<double>(aware.batches));
+  // The paired difference: its aggregate ci95 *is* the common-random-numbers
+  // confidence interval of run_comparison's makespan_cmp.
+  report.set("makespan_diff", unaware.makespan - aware.makespan);
+  return report;
+}
+
+/// Adds the improvement-of-means and paired-significance scalars every
+/// trust-aware-vs-unaware sweep reports.
+void finalize_paired(AggregateSet& aggregate) {
+  const MetricAggregate diff = aggregate.get("makespan_diff");
+  const double base = aggregate.mean("unaware.makespan");
+  aggregate.set_derived("improvement_pct",
+                        base > 0.0 ? diff.mean / base * 100.0 : 0.0);
+  aggregate.set_derived("significant",
+                        std::fabs(diff.mean) > diff.ci95 ? 1.0 : 0.0);
+}
+
+SweepSpec paper_table_spec(const std::string& number,
+                           const std::string& heuristic, bool batch,
+                           bool consistent, const std::string& paper_numbers) {
+  SweepSpec spec;
+  spec.name = "table" + number;
+  spec.title = "Table " + number + ": " + heuristic + ", " +
+               (consistent ? "consistent" : "inconsistent") +
+               " LoLo, trust-aware vs trust-unaware";
+  spec.paper_ref = "Table " + number + " (§5.3)";
+  spec.expected = "trust-aware wins both task counts significantly; paper "
+                  "improvements " + paper_numbers;
+  spec.axes = {{"tasks", {50, 100}}};
+  spec.replications = 50;
+  spec.run = [heuristic, batch, consistent](const Cell& cell,
+                                            std::uint64_t rep_seed) {
+    sim::ScenarioBuilder builder;
+    builder.tasks(static_cast<std::size_t>(cell.number("tasks")))
+        .heuristic(heuristic);
+    if (batch) {
+      builder.batch(30.0);
+    } else {
+      builder.immediate();
+    }
+    if (consistent) {
+      builder.consistent();
+    } else {
+      builder.inconsistent();
+    }
+    return paired_replication(builder.build(), rep_seed);
+  };
+  spec.finalize = [](const Cell&, AggregateSet& aggregate) {
+    finalize_paired(aggregate);
+  };
+  spec.display_metrics = {"unaware.makespan", "aware.makespan",
+                          "improvement_pct", "significant"};
+  return spec;
+}
+
+SweepSpec chaos_robustness_spec() {
+  SweepSpec spec;
+  spec.name = "chaos_robustness";
+  spec.title = "Trust robustness under adversarial machine fractions";
+  spec.paper_ref = "robustness extension of Tables 4-9 (docs/adversaries.md)";
+  spec.expected = "the trust-aware arm's steady true trust cost degrades "
+                  "strictly less than the unaware arm's at every non-zero "
+                  "malicious fraction";
+  spec.axes = {{"heuristic", {"mct", "min-min", "sufferage"}},
+               {"malicious_pct", {0, 10, 20, 40}},
+               {"trust_aware", {0, 1}}};
+  spec.replications = 3;  // independent campaigns averaged per cell
+  spec.tolerance_pct = 2.0;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    const std::size_t n_rd = 10;  // one machine per RD: RD fraction ==
+                                  // machine fraction
+    const std::string& heuristic = cell.text("heuristic");
+    const bool batch = heuristic != "mct";
+    const auto pct = static_cast<std::size_t>(cell.number("malicious_pct"));
+
+    sim::ScenarioBuilder builder;
+    builder.machines(n_rd)
+        .resource_domains(n_rd, n_rd)
+        .client_domains(3, 3)
+        .heuristic(heuristic)
+        .inconsistent();
+    if (batch) builder.batch(30.0);
+    std::vector<chaos::AdversarySpec> adversaries;
+    if (pct > 0) {
+      const std::size_t n_mal =
+          std::max<std::size_t>(1, (pct * n_rd + 50) / 100);
+      for (std::size_t rd = 0; rd < n_mal; ++rd) {
+        chaos::AdversarySpec adversary;
+        adversary.side = chaos::AdversarySide::kResourceDomain;
+        adversary.domain = rd;
+        adversary.kind = chaos::BehaviorKind::kMalicious;
+        adversaries.push_back(adversary);
+      }
+    }
+    chaos::CampaignRunConfig config;
+    config.rounds = 12;
+    config.tasks_per_round = 40;
+    config.trust_aware = cell.number("trust_aware") != 0.0;
+    const chaos::CampaignResult result =
+        chaos::run_campaign(builder.with_adversaries(adversaries).build(),
+                            config, rep_seed);
+    obs::RunReport report;
+    report.set("steady_true_trust_cost", result.steady_true_trust_cost);
+    report.set("steady_makespan", result.steady_makespan);
+    report.set("steady_misclassification", result.steady_misclassification);
+    report.set("detection_latency_rounds",
+               static_cast<double>(result.detection_latency_rounds));
+    return report;
+  };
+  spec.display_metrics = {"steady_true_trust_cost", "steady_makespan",
+                          "detection_latency_rounds"};
+  return spec;
+}
+
+SweepSpec pricing_ablation_spec(bool sweep_weight) {
+  SweepSpec spec;
+  spec.name = sweep_weight ? "ablation_trust_weight" : "ablation_blanket";
+  spec.title = sweep_weight
+                   ? "ESC pricing ablation: TC weight sweep (blanket 50%)"
+                   : "ESC pricing ablation: blanket sweep (TC weight 15%)";
+  spec.paper_ref = "§4 ESC model (the paper picks weight 15 / blanket 50 "
+                   "\"arbitrarily\")";
+  spec.expected = sweep_weight
+                      ? "heavier TC pricing erodes the trust-aware advantage"
+                      : "a cheaper blanket erodes it from the other side; "
+                        "blanket 10% makes the unaware baseline win";
+  if (sweep_weight) {
+    spec.axes = {{"tc_weight", {0, 5, 10, 15, 20, 25, 30}}};
+  } else {
+    spec.axes = {{"blanket", {10, 25, 50, 75, 100}}};
+  }
+  spec.replications = 50;
+  spec.run = [sweep_weight](const Cell& cell, std::uint64_t rep_seed) {
+    sim::Scenario scenario =
+        sim::ScenarioBuilder().tasks(50).heuristic("mct").immediate()
+            .inconsistent()
+            .build();
+    if (sweep_weight) {
+      scenario.security.tc_weight_pct = cell.number("tc_weight");
+    } else {
+      scenario.security.blanket_pct = cell.number("blanket");
+    }
+    return paired_replication(scenario, rep_seed);
+  };
+  spec.finalize = [](const Cell&, AggregateSet& aggregate) {
+    finalize_paired(aggregate);
+  };
+  spec.display_metrics = {"improvement_pct", "significant"};
+  return spec;
+}
+
+SweepSpec batch_interval_spec() {
+  SweepSpec spec;
+  spec.name = "ablation_batch_interval";
+  spec.title = "Meta-request interval sweep (inconsistent LoLo, 100 tasks)";
+  spec.paper_ref = "§4.1 batch mode (the paper fixes the interval at 30 s)";
+  spec.expected = "long intervals trade flow time for marginal makespan "
+                  "movement";
+  spec.axes = {{"heuristic", {"min-min", "sufferage"}},
+               {"interval", {5, 15, 30, 60, 120}}};
+  spec.replications = 50;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    const sim::Scenario scenario = sim::ScenarioBuilder()
+                                       .tasks(100)
+                                       .heuristic(cell.text("heuristic"))
+                                       .batch(cell.number("interval"))
+                                       .inconsistent()
+                                       .build();
+    return paired_replication(scenario, rep_seed);
+  };
+  spec.finalize = [](const Cell&, AggregateSet& aggregate) {
+    finalize_paired(aggregate);
+  };
+  spec.display_metrics = {"aware.batches", "aware.makespan",
+                          "aware.mean_flow_time", "improvement_pct"};
+  return spec;
+}
+
+SweepSpec smoke_spec() {
+  SweepSpec spec;
+  spec.name = "smoke";
+  spec.title = "CI smoke sweep: one small Table 4 condition";
+  spec.paper_ref = "Table 4, shrunk for CI (baselines/smoke.json)";
+  spec.expected = "trust-aware wins; gated against the committed baseline";
+  spec.axes = {{"tasks", {20}}};
+  spec.replications = 6;
+  spec.tolerance_pct = 2.5;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    const sim::Scenario scenario =
+        sim::ScenarioBuilder()
+            .tasks(static_cast<std::size_t>(cell.number("tasks")))
+            .heuristic("mct")
+            .immediate()
+            .inconsistent()
+            .build();
+    return paired_replication(scenario, rep_seed);
+  };
+  spec.finalize = [](const Cell&, AggregateSet& aggregate) {
+    finalize_paired(aggregate);
+  };
+  spec.display_metrics = {"unaware.makespan", "aware.makespan",
+                          "improvement_pct"};
+  return spec;
+}
+
+std::vector<SweepSpec> build_catalog() {
+  std::vector<SweepSpec> specs;
+  specs.push_back(paper_table_spec("4", "mct", false, false,
+                                   "36.99% / 37.59%"));
+  specs.push_back(paper_table_spec("5", "mct", false, true,
+                                   "34.44% / 34.26%"));
+  specs.push_back(paper_table_spec("6", "min-min", true, false,
+                                   "23.51% / 23.34%"));
+  specs.push_back(paper_table_spec("7", "min-min", true, true,
+                                   "25.28% / 25.32%"));
+  specs.push_back(paper_table_spec("8", "sufferage", true, false,
+                                   "39.66% / 38.40%"));
+  specs.push_back(paper_table_spec("9", "sufferage", true, true,
+                                   "32.67% / 33.19%"));
+  specs.push_back(chaos_robustness_spec());
+  specs.push_back(pricing_ablation_spec(/*sweep_weight=*/true));
+  specs.push_back(pricing_ablation_spec(/*sweep_weight=*/false));
+  specs.push_back(batch_interval_spec());
+  specs.push_back(smoke_spec());
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<SweepSpec>& builtin_specs() {
+  static const std::vector<SweepSpec> specs = build_catalog();
+  return specs;
+}
+
+const SweepSpec* find_spec(const std::string& name) {
+  for (const SweepSpec& spec : builtin_specs()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, std::vector<std::string>>>& suites() {
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      groups = [] {
+        std::vector<std::pair<std::string, std::vector<std::string>>> out;
+        out.emplace_back(
+            "tables", std::vector<std::string>{"table4", "table5", "table6",
+                                               "table7", "table8", "table9"});
+        out.emplace_back("ablations", std::vector<std::string>{
+                                          "ablation_trust_weight",
+                                          "ablation_blanket",
+                                          "ablation_batch_interval"});
+        std::vector<std::string> all;
+        for (const SweepSpec& spec : builtin_specs()) all.push_back(spec.name);
+        out.emplace_back("all", std::move(all));
+        return out;
+      }();
+  return groups;
+}
+
+std::vector<std::string> resolve_run_names(const std::string& name) {
+  for (const auto& [suite_name, members] : suites()) {
+    if (suite_name == name) return members;
+  }
+  if (find_spec(name) != nullptr) return {name};
+  return {};
+}
+
+}  // namespace gridtrust::lab

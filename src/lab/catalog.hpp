@@ -1,0 +1,33 @@
+// The registered experiment catalog.
+//
+// Every named sweep the `gridtrust_lab` CLI (and the migrated bench
+// binaries) can run is declared here: the six paper schedule tables, the
+// chaos robustness sweep, the ESC-pricing and batch-interval ablations, and
+// the CI smoke spec.  Each entry in this registry has a matching section in
+// docs/experiments-catalog.md — keep the two in sync (CONTRIBUTING.md,
+// "Adding an experiment").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lab/spec.hpp"
+
+namespace gridtrust::lab {
+
+/// All registered specs, in catalog order.
+const std::vector<SweepSpec>& builtin_specs();
+
+/// Lookup by name; nullptr when unknown.
+const SweepSpec* find_spec(const std::string& name);
+
+/// Named suites (groups of spec names): "tables" is the six-table paper
+/// suite, "ablations" the ablation sweeps, "all" everything registered.
+const std::vector<std::pair<std::string, std::vector<std::string>>>& suites();
+
+/// Expands `name` to spec names: a suite name expands to its members, a
+/// spec name to itself; empty when neither exists.
+std::vector<std::string> resolve_run_names(const std::string& name);
+
+}  // namespace gridtrust::lab

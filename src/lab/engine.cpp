@@ -1,0 +1,189 @@
+#include "lab/engine.hpp"
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "lab/cache.hpp"
+#include "obs/metrics.hpp"
+
+namespace gridtrust::lab {
+
+namespace {
+
+const obs::Counter kCellsRun("lab.cells_run");
+const obs::Counter kCacheHits("lab.cache_hits");
+const obs::Counter kUnitsRun("lab.units_run");
+const obs::Histogram kUnitNs("lab.unit_ns", obs::duration_bounds_ns());
+
+/// Aggregates one cell's per-replication reports (the [begin, end) slice of
+/// the flat unit-result array) in first-seen metric order.
+AggregateSet aggregate_reports(const std::vector<obs::RunReport>& all,
+                               std::size_t begin, std::size_t end) {
+  AggregateSet out;
+  std::vector<std::string> order;
+  for (std::size_t r = begin; r < end; ++r) {
+    for (const std::string& name : all[r].names()) {
+      bool seen = false;
+      for (const std::string& existing : order) {
+        if (existing == name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) order.push_back(name);
+    }
+  }
+  for (const std::string& name : order) {
+    RunningStats stats;
+    for (std::size_t r = begin; r < end; ++r) {
+      // Series entries are per-replication vectors; summaries are about
+      // scalars, so they are skipped by design (documented in spec.hpp).
+      if (!all[r].has(name)) continue;
+      try {
+        stats.add(all[r].get(name));
+      } catch (const PreconditionError&) {
+        continue;  // a series under this name
+      }
+    }
+    if (stats.count() == 0) continue;
+    out.set(name, MetricAggregate{stats.mean(), stats.ci95_halfwidth(),
+                                  stats.count()});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t cell_cache_key(const SweepSpec& spec, std::uint64_t seed,
+                             std::size_t replications, const Cell& cell) {
+  std::string canon = spec.name;
+  canon += '\x1f';
+  canon += spec.version;
+  canon += '\x1f';
+  canon += std::to_string(seed);
+  canon += '\x1f';
+  canon += std::to_string(replications);
+  canon += '\x1f';
+  canon += hash_hex(cell_param_hash(cell));
+  return fnv1a64(canon);
+}
+
+std::string git_revision() {
+#ifdef GRIDTRUST_GIT_REV
+  return GRIDTRUST_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
+  GT_REQUIRE(spec.run != nullptr,
+             "spec \"" + spec.name + "\" has no runner");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::uint64_t seed = options.seed.value_or(spec.seed);
+  const std::size_t replications =
+      options.replications.value_or(spec.replications);
+  GT_REQUIRE(replications >= 1, "need at least one replication");
+
+  SweepRun run;
+  run.manifest.spec = spec.name;
+  run.manifest.title = spec.title;
+  run.manifest.git_rev = git_revision();
+  run.manifest.seed = seed;
+  run.manifest.replications = replications;
+  run.manifest.tolerance_pct = spec.tolerance_pct;
+  {
+    // The hash records the sweep as actually run (overrides applied).
+    SweepSpec effective = spec;
+    effective.seed = seed;
+    effective.replications = replications;
+    run.manifest.spec_hash = hash_hex(effective.content_hash());
+  }
+
+  const std::vector<Cell> cells = spec.cells();
+  run.cells = cells.size();
+  run.manifest.cells.resize(cells.size());
+
+  std::unique_ptr<ResultCache> cache;
+  if (!options.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(options.cache_dir);
+  }
+
+  // Resolve cache hits first so only missing cells fan out.
+  std::vector<std::size_t> missing;  // indices into `cells`
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (cache != nullptr) {
+      const std::uint64_t key = cell_cache_key(spec, seed, replications, cell);
+      if (std::optional<ManifestCell> hit = cache->load(key);
+          hit.has_value() && hit->params == cell.params) {
+        hit->index = cell.index;  // re-anchor to this run's grid position
+        run.manifest.cells[i] = std::move(*hit);
+        ++run.cache_hits;
+        kCacheHits.add();
+        continue;
+      }
+    }
+    missing.push_back(i);
+  }
+
+  // Fan out (cell, replication) units over the pool; every unit owns a
+  // preallocated slot, so execution order cannot affect the results.
+  std::vector<obs::RunReport> reports(missing.size() * replications);
+  const auto run_unit = [&](std::size_t unit) {
+    const Cell& cell = cells[missing[unit / replications]];
+    const std::size_t rep = unit % replications;
+    const std::uint64_t rep_seed =
+        derive_rep_seed(seed, cell_param_hash(cell), rep);
+    kUnitsRun.add();
+    obs::ScopedTimer timer(kUnitNs);
+    reports[unit] = spec.run(cell, rep_seed);
+  };
+
+  const std::size_t units = missing.size() * replications;
+  run.units_run = units;
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr && options.jobs == 0) pool = &ThreadPool::shared();
+  if (pool == nullptr && options.jobs >= 2) {
+    owned = std::make_unique<ThreadPool>(options.jobs);
+    pool = owned.get();
+  }
+  if (pool != nullptr) {
+    pool->parallel_for(units, run_unit);
+  } else {
+    for (std::size_t unit = 0; unit < units; ++unit) run_unit(unit);
+  }
+
+  // Aggregate, finalize, serialize, and (on the caller thread, so the cache
+  // sees no concurrent writers) store each fresh cell.
+  for (std::size_t m = 0; m < missing.size(); ++m) {
+    const std::size_t i = missing[m];
+    const Cell& cell = cells[i];
+    kCellsRun.add();
+    AggregateSet aggregate =
+        aggregate_reports(reports, m * replications, (m + 1) * replications);
+    if (spec.finalize) spec.finalize(cell, aggregate);
+
+    ManifestCell& out = run.manifest.cells[i];
+    out.index = cell.index;
+    out.params = cell.params;
+    out.param_hash = hash_hex(cell_param_hash(cell));
+    out.replications = replications;
+    out.metrics = aggregate.entries();
+    if (cache != nullptr) {
+      cache->store(cell_cache_key(spec, seed, replications, cell), out);
+    }
+  }
+
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return run;
+}
+
+}  // namespace gridtrust::lab

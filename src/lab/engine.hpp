@@ -1,0 +1,64 @@
+// The sweep engine: expands a SweepSpec's grid, fans (cell, replication)
+// units out over a ThreadPool, and aggregates the RunReports into a
+// Manifest.
+//
+// Determinism contract: every unit's seed is derive_rep_seed(master seed,
+// cell parameter hash, replication index) — a pure function of the spec, not
+// of scheduling — and every unit writes into a preallocated slot, so running
+// with one worker, sixteen workers, or the shared pool produces bit-identical
+// manifests.  A ResultCache (optional) short-circuits cells whose content
+// key was computed before; cached and fresh cells are indistinguishable in
+// the output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "lab/manifest.hpp"
+#include "lab/spec.hpp"
+
+namespace gridtrust::lab {
+
+/// Execution knobs (none of these can change the numbers).
+struct EngineOptions {
+  /// Worker threads: 1 = serial in the calling thread, N >= 2 = a pool of N,
+  /// 0 = the process-wide ThreadPool::shared() sized to the hardware.
+  std::size_t jobs = 1;
+  /// Override the spec's master seed / replication count for this run.
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> replications;
+  /// Result-cache directory; empty disables caching.
+  std::string cache_dir;
+  /// External pool to fan out on (overrides `jobs` when set).  The engine
+  /// never nests parallel_for, so sharing one pool across layers is safe.
+  ThreadPool* pool = nullptr;
+};
+
+/// One engine run: the manifest plus execution facts that deliberately stay
+/// *out* of the manifest (so manifests stay byte-stable across jobs/cache
+/// configurations).
+struct SweepRun {
+  Manifest manifest;
+  std::size_t cells = 0;
+  std::size_t cache_hits = 0;
+  std::size_t units_run = 0;  ///< (cell, replication) pairs computed fresh
+  double wall_seconds = 0.0;
+};
+
+/// Runs the sweep.  Throws PreconditionError on a spec without a runner or
+/// with an empty axis; exceptions from the runner propagate.
+SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options = {});
+
+/// The cache key of one cell under an effective (seed, replications):
+/// folds spec name, spec version, seed, replications, and the cell's
+/// parameters.  Exposed for tests and tooling that prune cache directories.
+std::uint64_t cell_cache_key(const SweepSpec& spec, std::uint64_t seed,
+                             std::size_t replications, const Cell& cell);
+
+/// The git revision baked in at configure time ("unknown" outside a git
+/// checkout).  Recorded in manifests; ignored by compare_manifests.
+std::string git_revision();
+
+}  // namespace gridtrust::lab

@@ -1,0 +1,204 @@
+// gridtrust_lab — the experiment catalog CLI.
+//
+//   gridtrust_lab list
+//       All registered sweep specs and suites (docs/experiments-catalog.md
+//       documents each one).
+//   gridtrust_lab run <spec|suite>... [--jobs N] [--seed S]
+//       [--replications R] [--out PATH] [--cache-dir DIR] [--csv]
+//       [--metrics-out PATH]
+//       Runs the named sweeps on the engine.  --jobs 0 uses the shared
+//       hardware-sized pool; manifests are byte-identical for every --jobs
+//       value.  --out writes the manifest (a directory when several specs
+//       run).  --cache-dir skips cells whose content key was computed
+//       before.
+//   gridtrust_lab compare <manifest> <baseline> [--tolerance PCT]
+//       Gates a manifest against a committed baseline; exits 1 on any
+//       violated gate (CI uses this with baselines/).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "lab/catalog.hpp"
+#include "lab/engine.hpp"
+#include "lab/render.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+using namespace gridtrust;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  GT_REQUIRE(static_cast<bool>(in), "cannot read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  GT_REQUIRE(static_cast<bool>(out), "cannot write: " + path);
+  out << content;
+}
+
+int cmd_list() {
+  TextTable table({"name", "grid", "paper artifact", "title"});
+  table.set_title("Registered sweep specs (docs/experiments-catalog.md)");
+  for (const lab::SweepSpec& spec : lab::builtin_specs()) {
+    std::string grid;
+    std::size_t cells = 1;
+    for (const lab::Axis& axis : spec.axes) cells *= axis.values.size();
+    grid = std::to_string(cells) + " cells x " +
+           std::to_string(spec.replications) + " reps";
+    table.add_row({spec.name, grid, spec.paper_ref, spec.title});
+  }
+  std::cout << table << "\nSuites:\n";
+  for (const auto& [name, members] : lab::suites()) {
+    std::cout << "  " << name << ":";
+    for (const std::string& member : members) std::cout << " " << member;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& names, const CliParser& cli) {
+  GT_REQUIRE(!names.empty(),
+             "usage: gridtrust_lab run <spec|suite>... [--jobs N] ...");
+  std::vector<std::string> resolved;
+  for (const std::string& name : names) {
+    const std::vector<std::string> expansion = lab::resolve_run_names(name);
+    GT_REQUIRE(!expansion.empty(),
+               "unknown spec or suite: " + name +
+                   " (try `gridtrust_lab list`)");
+    resolved.insert(resolved.end(), expansion.begin(), expansion.end());
+  }
+
+  lab::EngineOptions options;
+  options.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (cli.was_set("seed")) {
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  }
+  if (cli.was_set("replications")) {
+    options.replications = static_cast<std::size_t>(
+        cli.get_int("replications"));
+  }
+  options.cache_dir = cli.get_string("cache-dir");
+
+  const std::string out_path = cli.get_string("out");
+  const bool out_is_dir = resolved.size() > 1 && !out_path.empty();
+  if (out_is_dir) std::filesystem::create_directories(out_path);
+
+  obs::MetricsExportScope metrics(cli);
+  double total_wall = 0.0;
+  for (const std::string& name : resolved) {
+    const lab::SweepSpec* spec = lab::find_spec(name);
+    GT_REQUIRE(spec != nullptr, "unknown spec: " + name);
+    const lab::SweepRun run = lab::run_sweep(*spec, options);
+    total_wall += run.wall_seconds;
+
+    const TextTable table = lab::sweep_table(*spec, run.manifest);
+    std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+    for (const std::string& line : lab::paired_summaries(run.manifest)) {
+      std::cout << "  " << line << "\n";
+    }
+    std::cout << "  expected: " << spec->expected << "\n"
+              << "  " << run.cells << " cells, " << run.units_run
+              << " units run, " << run.cache_hits << " cache hits, "
+              << format_grouped(run.wall_seconds, 2) << " s wall\n\n";
+
+    if (!out_path.empty()) {
+      const std::string path =
+          out_is_dir ? out_path + "/" + name + ".json" : out_path;
+      write_file(path, lab::to_json(run.manifest));
+      std::cout << "  manifest: " << path << "\n\n";
+    }
+  }
+  if (resolved.size() > 1) {
+    std::cout << "total: " << format_grouped(total_wall, 2) << " s wall over "
+              << resolved.size() << " specs\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& paths, const CliParser& cli) {
+  GT_REQUIRE(paths.size() == 2,
+             "usage: gridtrust_lab compare <manifest> <baseline> "
+             "[--tolerance PCT]");
+  const lab::Manifest candidate = lab::parse_manifest(read_file(paths[0]));
+  const lab::Manifest baseline = lab::parse_manifest(read_file(paths[1]));
+  lab::CompareOptions options;
+  options.tolerance_pct = cli.get_double("tolerance");
+  const lab::CompareResult result =
+      lab::compare_manifests(candidate, baseline, options);
+  if (result.pass) {
+    std::cout << "PASS: " << result.metrics_checked
+              << " metric gates within " << result.tolerance_pct
+              << "% of baseline (" << paths[1] << ")\n";
+    return 0;
+  }
+  std::cout << "FAIL: " << result.violations.size() << " violation(s) at "
+            << result.tolerance_pct << "% tolerance\n";
+  for (const lab::Violation& v : result.violations) {
+    std::cout << "  " << v.where << ": " << v.what << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Subcommand syntax: positionals (command, spec names, paths) come first;
+  // everything from the first `--` token on is parsed by CliParser.
+  std::vector<std::string> positionals;
+  int flag_start = argc;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      flag_start = i;
+      break;
+    }
+    positionals.push_back(arg);
+  }
+
+  CliParser cli("gridtrust_lab",
+                "Runs, records, and gates the registered experiment sweeps "
+                "(commands: list, run <spec|suite>..., compare <manifest> "
+                "<baseline>)");
+  cli.add_int("jobs", 0,
+              "worker threads for run (0 = shared hardware-sized pool, "
+              "1 = serial)");
+  cli.add_int("seed", 20020815, "master seed override for run");
+  cli.add_int("replications", 0, "replication-count override for run");
+  cli.add_string("out", "", "manifest output path (directory for suites)");
+  cli.add_string("cache-dir", "", "result-cache directory (empty = off)");
+  cli.add_double("tolerance", -1.0,
+                 "compare gate in percent (negative = baseline's own)");
+  cli.add_flag("csv", "emit CSV instead of ASCII tables");
+  obs::add_metrics_flags(cli);
+
+  try {
+    std::vector<const char*> flag_argv;
+    flag_argv.push_back(argv[0]);
+    for (int i = flag_start; i < argc; ++i) flag_argv.push_back(argv[i]);
+    cli.parse(static_cast<int>(flag_argv.size()), flag_argv.data());
+
+    if (positionals.empty()) {
+      std::cout << cli.usage();
+      return 2;
+    }
+    const std::string command = positionals.front();
+    const std::vector<std::string> rest(positionals.begin() + 1,
+                                        positionals.end());
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(rest, cli);
+    if (command == "compare") return cmd_compare(rest, cli);
+    std::cerr << "unknown command: " << command << "\n" << cli.usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "gridtrust_lab: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,246 @@
+#include "lab/manifest.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace gridtrust::lab {
+
+namespace {
+
+using obs::detail::json_escape;
+using obs::detail::json_number;
+
+void append_params(std::string& out,
+                   const std::vector<std::pair<std::string, ParamValue>>&
+                       params) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\":";
+    if (value.is_number()) {
+      out += json_number(value.number());
+    } else {
+      out += '"';
+      out += json_escape(value.text());
+      out += '"';
+    }
+  }
+  out += '}';
+}
+
+void append_cell(std::string& out, const ManifestCell& cell) {
+  out += "{\"index\":";
+  out += json_number(static_cast<double>(cell.index));
+  out += ",\"params\":";
+  append_params(out, cell.params);
+  out += ",\"param_hash\":\"";
+  out += json_escape(cell.param_hash);
+  out += "\",\"replications\":";
+  out += json_number(static_cast<double>(cell.replications));
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, agg] : cell.metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"mean\":";
+    out += json_number(agg.mean);
+    out += ",\"ci95\":";
+    out += json_number(agg.ci95);
+    out += ",\"n\":";
+    out += json_number(static_cast<double>(agg.n));
+    out += '}';
+  }
+  out += "}}";
+}
+
+std::vector<std::pair<std::string, ParamValue>> parse_params(
+    const obs::JsonValue& value) {
+  std::vector<std::pair<std::string, ParamValue>> out;
+  for (const auto& [key, v] : value.as_object()) {
+    if (v.kind() == obs::JsonValue::Kind::kNumber) {
+      out.emplace_back(key, ParamValue(v.as_number()));
+    } else {
+      out.emplace_back(key, ParamValue(v.as_string()));
+    }
+  }
+  return out;
+}
+
+std::size_t parse_size(const obs::JsonValue& value, const char* what) {
+  const double n = value.as_number();
+  GT_REQUIRE(n >= 0 && n == std::floor(n),
+             std::string("manifest field is not a count: ") + what);
+  return static_cast<std::size_t>(n);
+}
+
+std::string params_label(
+    const std::vector<std::pair<std::string, ParamValue>>& params) {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + value.canonical();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cell_to_json(const ManifestCell& cell) {
+  std::string out;
+  append_cell(out, cell);
+  return out;
+}
+
+std::string to_json(const Manifest& manifest) {
+  std::string out = "{\"schema\":\"";
+  out += json_escape(manifest.schema);
+  out += "\",\"spec\":\"";
+  out += json_escape(manifest.spec);
+  out += "\",\"title\":\"";
+  out += json_escape(manifest.title);
+  out += "\",\"spec_hash\":\"";
+  out += json_escape(manifest.spec_hash);
+  out += "\",\"git_rev\":\"";
+  out += json_escape(manifest.git_rev);
+  out += "\",\"seed\":";
+  out += json_number(static_cast<double>(manifest.seed));
+  out += ",\"replications\":";
+  out += json_number(static_cast<double>(manifest.replications));
+  out += ",\"tolerance_pct\":";
+  out += json_number(manifest.tolerance_pct);
+  out += ",\"cells\":[";
+  bool first = true;
+  for (const ManifestCell& cell : manifest.cells) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    append_cell(out, cell);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+ManifestCell parse_manifest_cell(const obs::JsonValue& value) {
+  ManifestCell cell;
+  cell.index = parse_size(value.at("index"), "index");
+  cell.params = parse_params(value.at("params"));
+  cell.param_hash = value.at("param_hash").as_string();
+  cell.replications = parse_size(value.at("replications"), "replications");
+  for (const auto& [name, agg] : value.at("metrics").as_object()) {
+    MetricAggregate m;
+    m.mean = agg.at("mean").as_number();
+    m.ci95 = agg.at("ci95").as_number();
+    m.n = parse_size(agg.at("n"), "metric n");
+    cell.metrics.emplace_back(name, m);
+  }
+  return cell;
+}
+
+Manifest parse_manifest(const std::string& json) {
+  const obs::JsonValue doc = obs::parse_json(json);
+  Manifest m;
+  m.schema = doc.at("schema").as_string();
+  GT_REQUIRE(m.schema == "gridtrust.lab.manifest/v1",
+             "unknown manifest schema: " + m.schema);
+  m.spec = doc.at("spec").as_string();
+  m.title = doc.at("title").as_string();
+  m.spec_hash = doc.at("spec_hash").as_string();
+  m.git_rev = doc.at("git_rev").as_string();
+  m.seed = static_cast<std::uint64_t>(parse_size(doc.at("seed"), "seed"));
+  m.replications = parse_size(doc.at("replications"), "replications");
+  m.tolerance_pct = doc.at("tolerance_pct").as_number();
+  for (const obs::JsonValue& cell : doc.at("cells").as_array()) {
+    m.cells.push_back(parse_manifest_cell(cell));
+  }
+  return m;
+}
+
+CompareResult compare_manifests(const Manifest& candidate,
+                                const Manifest& baseline,
+                                const CompareOptions& options) {
+  CompareResult result;
+  result.tolerance_pct = options.tolerance_pct >= 0.0
+                             ? options.tolerance_pct
+                             : baseline.tolerance_pct;
+  auto fail = [&result](std::string where, std::string what) {
+    result.violations.push_back({std::move(where), std::move(what)});
+  };
+
+  if (candidate.spec != baseline.spec) {
+    fail("manifest", "spec \"" + candidate.spec + "\" vs baseline \"" +
+                         baseline.spec + "\"");
+  }
+  if (candidate.seed != baseline.seed) {
+    fail("manifest", "seed " + std::to_string(candidate.seed) +
+                         " vs baseline " + std::to_string(baseline.seed));
+  }
+  if (candidate.cells.size() != baseline.cells.size()) {
+    fail("manifest",
+         "cell count " + std::to_string(candidate.cells.size()) +
+             " vs baseline " + std::to_string(baseline.cells.size()));
+  }
+
+  for (const ManifestCell& base_cell : baseline.cells) {
+    const ManifestCell* cand_cell = nullptr;
+    for (const ManifestCell& c : candidate.cells) {
+      if (c.index == base_cell.index) {
+        cand_cell = &c;
+        break;
+      }
+    }
+    const std::string where_cell =
+        "cell " + std::to_string(base_cell.index) + " (" +
+        params_label(base_cell.params) + ")";
+    if (cand_cell == nullptr) {
+      fail(where_cell, "missing from candidate");
+      continue;
+    }
+    if (cand_cell->params != base_cell.params) {
+      fail(where_cell,
+           "parameters differ: " + params_label(cand_cell->params));
+      continue;
+    }
+    if (cand_cell->replications != base_cell.replications) {
+      fail(where_cell,
+           "replications " + std::to_string(cand_cell->replications) +
+               " vs baseline " + std::to_string(base_cell.replications));
+    }
+    for (const auto& [name, base_m] : base_cell.metrics) {
+      const MetricAggregate* cand_m = nullptr;
+      for (const auto& [cname, cm] : cand_cell->metrics) {
+        if (cname == name) {
+          cand_m = &cm;
+          break;
+        }
+      }
+      if (cand_m == nullptr) {
+        fail(where_cell + " metric " + name, "missing from candidate");
+        continue;
+      }
+      ++result.metrics_checked;
+      const double diff = std::fabs(cand_m->mean - base_m.mean);
+      const double gate =
+          std::max(options.tolerance_abs,
+                   result.tolerance_pct / 100.0 * std::fabs(base_m.mean));
+      if (!(diff <= gate)) {
+        fail(where_cell + " metric " + name,
+             "mean " + obs::detail::json_number(cand_m->mean) +
+                 " vs baseline " + obs::detail::json_number(base_m.mean) +
+                 " (|diff| " + obs::detail::json_number(diff) +
+                 " > gate " + obs::detail::json_number(gate) + ")");
+      }
+    }
+  }
+
+  result.pass = result.violations.empty();
+  return result;
+}
+
+}  // namespace gridtrust::lab

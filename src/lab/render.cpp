@@ -1,0 +1,108 @@
+#include "lab/render.hpp"
+
+#include "common/error.hpp"
+
+namespace gridtrust::lab {
+
+namespace {
+
+const MetricAggregate* find_metric(const ManifestCell& cell,
+                                   const std::string& name) {
+  for (const auto& [key, value] : cell.metrics) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string metric_cell_text(const ManifestCell& cell,
+                             const std::string& name) {
+  const MetricAggregate* m = find_metric(cell, name);
+  if (m == nullptr) return "-";
+  std::string out = format_grouped(m->mean, 2);
+  if (m->n >= 2) out += " ± " + format_grouped(m->ci95, 2);
+  return out;
+}
+
+}  // namespace
+
+TextTable sweep_table(const SweepSpec& spec, const Manifest& manifest) {
+  std::vector<std::string> metric_names = spec.display_metrics;
+  if (metric_names.empty() && !manifest.cells.empty()) {
+    for (const auto& [name, value] : manifest.cells.front().metrics) {
+      metric_names.push_back(name);
+    }
+  }
+  std::vector<std::string> headers;
+  for (const Axis& axis : spec.axes) headers.push_back(axis.name);
+  for (const std::string& name : metric_names) headers.push_back(name);
+  TextTable table(headers);
+  table.set_title(spec.title + " (seed " + std::to_string(manifest.seed) +
+                  ", n=" + std::to_string(manifest.replications) + "/cell)");
+  for (const ManifestCell& cell : manifest.cells) {
+    std::vector<std::string> row;
+    for (const auto& [key, value] : cell.params) {
+      row.push_back(value.is_number() ? format_grouped(value.number(), 0)
+                                      : value.text());
+    }
+    for (const std::string& name : metric_names) {
+      row.push_back(metric_cell_text(cell, name));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable paper_schedule_table(const std::string& title,
+                               const Manifest& manifest) {
+  TextTable table({"# of tasks", "Using trust", "Machine utilization",
+                   "Ave. completion time (sec)", "Improvement"});
+  table.set_title(title);
+  bool first = true;
+  for (const ManifestCell& cell : manifest.cells) {
+    const MetricAggregate* un_util =
+        find_metric(cell, "unaware.utilization_pct");
+    const MetricAggregate* un_mk = find_metric(cell, "unaware.makespan");
+    const MetricAggregate* aw_util = find_metric(cell, "aware.utilization_pct");
+    const MetricAggregate* aw_mk = find_metric(cell, "aware.makespan");
+    const MetricAggregate* improvement = find_metric(cell, "improvement_pct");
+    GT_REQUIRE(un_util != nullptr && un_mk != nullptr && aw_util != nullptr &&
+                   aw_mk != nullptr && improvement != nullptr,
+               "manifest lacks the paired schedule metrics");
+    std::string tasks = "?";
+    for (const auto& [key, value] : cell.params) {
+      if (key == "tasks") tasks = format_grouped(value.number(), 0);
+    }
+    if (!first) table.add_separator();
+    first = false;
+    table.add_row({tasks, "No", format_percent(un_util->mean),
+                   format_grouped(un_mk->mean, 2),
+                   format_percent(improvement->mean)});
+    table.add_row({"", "Yes", format_percent(aw_util->mean),
+                   format_grouped(aw_mk->mean, 2), ""});
+  }
+  return table;
+}
+
+std::vector<std::string> paired_summaries(const Manifest& manifest) {
+  std::vector<std::string> out;
+  for (const ManifestCell& cell : manifest.cells) {
+    const MetricAggregate* diff = find_metric(cell, "makespan_diff");
+    const MetricAggregate* base = find_metric(cell, "unaware.makespan");
+    const MetricAggregate* improvement = find_metric(cell, "improvement_pct");
+    if (diff == nullptr || base == nullptr || improvement == nullptr) continue;
+    const double rel_ci =
+        base->mean > 0.0 ? diff->ci95 / base->mean * 100.0 : 0.0;
+    std::string label;
+    for (const auto& [key, value] : cell.params) {
+      if (!label.empty()) label += ' ';
+      label += key + "=" + value.canonical();
+    }
+    out.push_back(label + ": improvement " +
+                  format_percent(improvement->mean) +
+                  " (95% CI half-width " + format_percent(rel_ci) +
+                  ", n=" + std::to_string(diff->n) + ")");
+  }
+  return out;
+}
+
+}  // namespace gridtrust::lab

@@ -1,0 +1,301 @@
+// Lab sweep engine: grid expansion, seed derivation, parallel determinism,
+// the result cache, manifest round-trips, and baseline comparison gates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/error.hpp"
+#include "lab/cache.hpp"
+#include "lab/catalog.hpp"
+#include "lab/engine.hpp"
+#include "lab/manifest.hpp"
+#include "lab/spec.hpp"
+#include "obs/json_in.hpp"
+
+namespace gridtrust::lab {
+namespace {
+
+/// A tiny synthetic sweep (no simulator) whose results are a pure function
+/// of (cell, rep_seed) — fast enough to run hundreds of times in tests.
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.title = "synthetic test sweep";
+  spec.axes = {{"alpha", {1, 2, 3}}, {"mode", {"fast", "slow"}}};
+  spec.replications = 4;
+  spec.seed = 99;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    obs::RunReport report;
+    report.set("value", cell.number("alpha") * 10.0 +
+                            static_cast<double>(rep_seed % 1000) / 1000.0);
+    report.set("mode_len", static_cast<double>(cell.text("mode").size()));
+    return report;
+  };
+  spec.finalize = [](const Cell& cell, AggregateSet& aggregate) {
+    aggregate.set_derived("alpha_echo", cell.number("alpha"));
+  };
+  return spec;
+}
+
+std::string temp_dir(const std::string& leaf) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("gridtrust_lab_" + leaf);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(SweepSpecTest, ExpandsCellsRowMajorWithLastAxisFastest) {
+  const std::vector<Cell> cells = tiny_spec().cells();
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].label(), "alpha=1 mode=fast");
+  EXPECT_EQ(cells[1].label(), "alpha=1 mode=slow");
+  EXPECT_EQ(cells[2].label(), "alpha=2 mode=fast");
+  EXPECT_EQ(cells[5].label(), "alpha=3 mode=slow");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(SweepSpecTest, ContentHashTracksEveryDeclaredField) {
+  const SweepSpec base = tiny_spec();
+  SweepSpec edited = base;
+  EXPECT_EQ(base.content_hash(), edited.content_hash());
+  edited.version = "2";
+  EXPECT_NE(base.content_hash(), edited.content_hash());
+  edited = base;
+  edited.seed = 100;
+  EXPECT_NE(base.content_hash(), edited.content_hash());
+  edited = base;
+  edited.axes[0].values.push_back(4);
+  EXPECT_NE(base.content_hash(), edited.content_hash());
+  edited = base;
+  edited.replications = 5;
+  EXPECT_NE(base.content_hash(), edited.content_hash());
+  // Presentation fields do not participate.
+  edited = base;
+  edited.title = "different title";
+  edited.display_metrics = {"value"};
+  EXPECT_EQ(base.content_hash(), edited.content_hash());
+}
+
+TEST(SweepSpecTest, RepSeedsAreDistinctAcrossCellsAndReps) {
+  const std::vector<Cell> cells = tiny_spec().cells();
+  std::set<std::uint64_t> seeds;
+  for (const Cell& cell : cells) {
+    const std::uint64_t hash = cell_param_hash(cell);
+    for (std::size_t rep = 0; rep < 64; ++rep) {
+      seeds.insert(derive_rep_seed(99, hash, rep));
+    }
+  }
+  EXPECT_EQ(seeds.size(), cells.size() * 64);
+  // Pure function: recomputing gives the same stream.
+  EXPECT_EQ(derive_rep_seed(99, cell_param_hash(cells[0]), 3),
+            derive_rep_seed(99, cell_param_hash(cells[0]), 3));
+}
+
+TEST(EngineTest, ParallelRunsAreBitIdenticalToSerial) {
+  const SweepSpec spec = tiny_spec();
+  EngineOptions serial;
+  serial.jobs = 1;
+  EngineOptions parallel;
+  parallel.jobs = 4;
+  const std::string a = to_json(run_sweep(spec, serial).manifest);
+  const std::string b = to_json(run_sweep(spec, parallel).manifest);
+  EXPECT_EQ(a, b);
+  EngineOptions shared;
+  shared.jobs = 0;  // process-wide pool
+  EXPECT_EQ(a, to_json(run_sweep(spec, shared).manifest));
+}
+
+TEST(EngineTest, AggregatesMeanAndDerivedMetricsPerCell) {
+  const SweepRun run = run_sweep(tiny_spec());
+  ASSERT_EQ(run.manifest.cells.size(), 6u);
+  EXPECT_EQ(run.units_run, 6u * 4u);
+  for (const ManifestCell& cell : run.manifest.cells) {
+    ASSERT_EQ(cell.metrics.size(), 3u);
+    EXPECT_EQ(cell.metrics[0].first, "value");
+    EXPECT_EQ(cell.metrics[0].second.n, 4u);
+    EXPECT_EQ(cell.metrics[2].first, "alpha_echo");
+    EXPECT_EQ(cell.metrics[2].second.n, 0u);  // derived
+    // alpha_echo equals the cell's alpha parameter.
+    EXPECT_EQ(cell.metrics[2].second.mean, cell.params[0].second.number());
+  }
+}
+
+TEST(EngineTest, SeedAndReplicationOverridesChangeTheSpecHash) {
+  const SweepSpec spec = tiny_spec();
+  EngineOptions options;
+  const Manifest base = run_sweep(spec, options).manifest;
+  options.seed = 7;
+  options.replications = 2;
+  const Manifest overridden = run_sweep(spec, options).manifest;
+  EXPECT_NE(base.spec_hash, overridden.spec_hash);
+  EXPECT_EQ(overridden.seed, 7u);
+  EXPECT_EQ(overridden.replications, 2u);
+  EXPECT_EQ(overridden.cells[0].replications, 2u);
+}
+
+TEST(CacheTest, SecondRunHitsAndMatchesByteForByte) {
+  const SweepSpec spec = tiny_spec();
+  EngineOptions options;
+  options.cache_dir = temp_dir("hit");
+  const SweepRun first = run_sweep(spec, options);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.units_run, 24u);
+  const SweepRun second = run_sweep(spec, options);
+  EXPECT_EQ(second.cache_hits, 6u);
+  EXPECT_EQ(second.units_run, 0u);
+  EXPECT_EQ(to_json(first.manifest), to_json(second.manifest));
+}
+
+TEST(CacheTest, SpecEditsInvalidateTheCache) {
+  SweepSpec spec = tiny_spec();
+  EngineOptions options;
+  options.cache_dir = temp_dir("invalidate");
+  (void)run_sweep(spec, options);
+
+  // A version bump misses every cell.
+  spec.version = "2";
+  EXPECT_EQ(run_sweep(spec, options).cache_hits, 0u);
+
+  // A seed override misses too (the key folds the effective seed).
+  spec = tiny_spec();
+  EngineOptions reseeded = options;
+  reseeded.seed = 1234;
+  EXPECT_EQ(run_sweep(spec, reseeded).cache_hits, 0u);
+
+  // Adding an axis value re-runs only the new cells.
+  spec = tiny_spec();
+  spec.axes[0].values.push_back(4);
+  const SweepRun grown = run_sweep(spec, options);
+  EXPECT_EQ(grown.cache_hits, 6u);
+  EXPECT_EQ(grown.units_run, 2u * 4u);  // the two new alpha=4 cells
+}
+
+TEST(CacheTest, CorruptEntryIsAMiss) {
+  const SweepSpec spec = tiny_spec();
+  EngineOptions options;
+  options.cache_dir = temp_dir("corrupt");
+  (void)run_sweep(spec, options);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.cache_dir)) {
+    std::FILE* f = std::fopen(entry.path().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{not json", f);
+    std::fclose(f);
+  }
+  const SweepRun rerun = run_sweep(spec, options);
+  EXPECT_EQ(rerun.cache_hits, 0u);
+  EXPECT_EQ(rerun.units_run, 24u);
+}
+
+TEST(ManifestTest, RoundTripsThroughJsonByteForByte) {
+  const Manifest manifest = run_sweep(tiny_spec()).manifest;
+  const std::string json = to_json(manifest);
+  const Manifest parsed = parse_manifest(json);
+  EXPECT_EQ(parsed.spec, "tiny");
+  EXPECT_EQ(parsed.seed, 99u);
+  EXPECT_EQ(parsed.cells.size(), 6u);
+  EXPECT_EQ(parsed.cells[3].params[1].second.text(), "slow");
+  EXPECT_EQ(to_json(parsed), json);  // byte-stable round trip
+}
+
+TEST(ManifestTest, ParseRejectsWrongSchemaAndGarbage) {
+  EXPECT_THROW((void)parse_manifest("{\"schema\":\"other/v9\",\"cells\":[]}"),
+               PreconditionError);
+  EXPECT_THROW((void)parse_manifest("not json at all"), PreconditionError);
+}
+
+TEST(CompareTest, IdenticalManifestsPassAndPerturbedMeansFail) {
+  const Manifest base = run_sweep(tiny_spec()).manifest;
+  const CompareResult same = compare_manifests(base, base);
+  EXPECT_TRUE(same.pass);
+  EXPECT_GT(same.metrics_checked, 0u);
+
+  Manifest drifted = base;
+  drifted.cells[2].metrics[0].second.mean *= 1.5;  // way past 1 %
+  const CompareResult fail = compare_manifests(drifted, base);
+  EXPECT_FALSE(fail.pass);
+  ASSERT_EQ(fail.violations.size(), 1u);
+  EXPECT_NE(fail.violations[0].where.find("value"), std::string::npos);
+
+  // A generous explicit tolerance turns the same drift into a pass.
+  CompareOptions loose;
+  loose.tolerance_pct = 60.0;
+  EXPECT_TRUE(compare_manifests(drifted, base, loose).pass);
+}
+
+TEST(CompareTest, StructuralMismatchesAreViolations) {
+  const Manifest base = run_sweep(tiny_spec()).manifest;
+
+  Manifest wrong_spec = base;
+  wrong_spec.spec = "other";
+  EXPECT_FALSE(compare_manifests(wrong_spec, base).pass);
+
+  Manifest missing_cell = base;
+  missing_cell.cells.pop_back();
+  EXPECT_FALSE(compare_manifests(missing_cell, base).pass);
+
+  Manifest missing_metric = base;
+  missing_metric.cells[0].metrics.erase(
+      missing_metric.cells[0].metrics.begin());
+  EXPECT_FALSE(compare_manifests(missing_metric, base).pass);
+
+  // A rebuilt binary (different git_rev) that reproduces the numbers passes.
+  Manifest rebuilt = base;
+  rebuilt.git_rev = "deadbeef0123";
+  EXPECT_TRUE(compare_manifests(rebuilt, base).pass);
+}
+
+TEST(CatalogTest, EverySpecIsRunnableAndResolvable) {
+  for (const SweepSpec& spec : builtin_specs()) {
+    EXPECT_NE(spec.run, nullptr) << spec.name;
+    EXPECT_FALSE(spec.axes.empty()) << spec.name;
+    EXPECT_FALSE(spec.paper_ref.empty()) << spec.name;
+    EXPECT_EQ(find_spec(spec.name), &spec);
+    EXPECT_EQ(resolve_run_names(spec.name),
+              std::vector<std::string>{spec.name});
+  }
+  EXPECT_EQ(resolve_run_names("tables").size(), 6u);
+  EXPECT_EQ(resolve_run_names("no_such_spec").size(), 0u);
+}
+
+TEST(CatalogTest, SmokeSpecMatchesItsCommittedBaselineShape) {
+  const SweepSpec* smoke = find_spec("smoke");
+  ASSERT_NE(smoke, nullptr);
+  const SweepRun run = run_sweep(*smoke);
+  EXPECT_EQ(run.manifest.cells.size(), 1u);
+  // The paired metrics the baseline gates on.
+  const ManifestCell& cell = run.manifest.cells.front();
+  std::set<std::string> names;
+  for (const auto& [name, metric] : cell.metrics) names.insert(name);
+  EXPECT_TRUE(names.count("unaware.makespan"));
+  EXPECT_TRUE(names.count("aware.makespan"));
+  EXPECT_TRUE(names.count("improvement_pct"));
+}
+
+TEST(JsonInTest, ParsesScalarsContainersAndEscapes) {
+  const obs::JsonValue value = obs::parse_json(
+      "{\"a\":[1,2.5,-3e2],\"b\":{\"nested\":true},\"s\":\"q\\\"\\u0041\","
+      "\"z\":null}");
+  EXPECT_EQ(value.at("a").as_array().size(), 3u);
+  EXPECT_EQ(value.at("a").as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(value.at("b").at("nested").as_bool());
+  EXPECT_EQ(value.at("s").as_string(), "q\"A");
+  EXPECT_TRUE(value.at("z").is_null());
+  EXPECT_FALSE(value.has("missing"));
+}
+
+TEST(JsonInTest, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)obs::parse_json(""), PreconditionError);
+  EXPECT_THROW((void)obs::parse_json("{\"a\":1,}"), PreconditionError);
+  EXPECT_THROW((void)obs::parse_json("[1 2]"), PreconditionError);
+  EXPECT_THROW((void)obs::parse_json("{\"a\":1} trailing"),
+               PreconditionError);
+  EXPECT_THROW((void)obs::parse_json("\"unterminated"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridtrust::lab
