@@ -1,0 +1,50 @@
+#include "common/fs.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace gridtrust {
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  GT_REQUIRE(!path.empty(), "atomic_write_file requires a path");
+  // The pid suffix keeps concurrent writers (e.g. two cache processes
+  // storing the same key) from clobbering each other's temp file; the
+  // rename still serializes them to one winner with complete content.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    GT_REQUIRE(static_cast<bool>(out), "cannot create temp file: " + tmp);
+    out << content;
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      GT_REQUIRE(false, "short write to temp file: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    GT_REQUIRE(false, "cannot rename " + tmp + " over " + path + ": " +
+                          ec.message());
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GT_REQUIRE(static_cast<bool>(in), "cannot read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace gridtrust

@@ -1,0 +1,26 @@
+// Filesystem helpers shared by every layer that persists artifacts.
+//
+// The one that matters is atomic_write_file: manifests, result-cache
+// entries, checkpoint journals, and metrics dumps are all read back by
+// other processes (CI compare gates, --resume, cache hits), so a crash or
+// SIGKILL mid-write must never leave a torn file behind.  The helper writes
+// the full content to a sibling temp file and renames it over the target —
+// rename(2) is atomic on POSIX, so readers observe either the old complete
+// file or the new complete file, never a prefix.
+#pragma once
+
+#include <string>
+
+namespace gridtrust {
+
+/// Writes `content` to `path` atomically (write temp sibling, flush,
+/// rename over).  Throws PreconditionError when the temp file cannot be
+/// created, written, or renamed; on failure the target is untouched and
+/// the temp file is removed best-effort.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Reads a whole file into a string; throws PreconditionError when the
+/// file cannot be opened.
+std::string read_file(const std::string& path);
+
+}  // namespace gridtrust

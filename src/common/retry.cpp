@@ -1,0 +1,79 @@
+#include "common/retry.hpp"
+
+#include <cmath>
+#include <new>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace gridtrust {
+
+ErrorClass classify_error(const std::exception_ptr& error) noexcept {
+  if (!error) return ErrorClass::kUnknown;
+  try {
+    std::rethrow_exception(error);
+  } catch (const PreconditionError&) {
+    return ErrorClass::kPrecondition;
+  } catch (const InvariantError&) {
+    return ErrorClass::kInvariant;
+  } catch (const std::bad_alloc&) {
+    return ErrorClass::kResource;
+  } catch (const std::system_error&) {
+    return ErrorClass::kResource;
+  } catch (...) {
+    return ErrorClass::kUnknown;
+  }
+}
+
+std::string describe_error(const std::exception_ptr& error) noexcept {
+  if (!error) return "<no exception>";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    try {
+      return e.what();
+    } catch (...) {
+      return "<unprintable exception>";
+    }
+  } catch (...) {
+    return "<non-standard exception>";
+  }
+}
+
+std::string to_string(ErrorClass error_class) {
+  switch (error_class) {
+    case ErrorClass::kPrecondition: return "precondition";
+    case ErrorClass::kInvariant: return "invariant";
+    case ErrorClass::kResource: return "resource";
+    case ErrorClass::kTimeout: return "timeout";
+    case ErrorClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+ErrorClass parse_error_class(const std::string& text) {
+  if (text == "precondition") return ErrorClass::kPrecondition;
+  if (text == "invariant") return ErrorClass::kInvariant;
+  if (text == "resource") return ErrorClass::kResource;
+  if (text == "timeout") return ErrorClass::kTimeout;
+  GT_REQUIRE(text == "unknown", "unknown error class: " + text);
+  return ErrorClass::kUnknown;
+}
+
+bool is_transient(ErrorClass error_class) {
+  return error_class == ErrorClass::kResource ||
+         error_class == ErrorClass::kTimeout ||
+         error_class == ErrorClass::kUnknown;
+}
+
+std::uint64_t RetryPolicy::backoff_ms(std::size_t retry_index,
+                                      ErrorClass error_class) const {
+  GT_REQUIRE(retry_index >= 1, "retry_index is 1-based");
+  if (!is_transient(error_class)) return 0;
+  double delay = static_cast<double>(backoff_initial_ms) *
+                 std::pow(backoff_factor, static_cast<double>(retry_index - 1));
+  delay = std::min(delay, static_cast<double>(backoff_max_ms));
+  return static_cast<std::uint64_t>(delay);
+}
+
+}  // namespace gridtrust

@@ -1,0 +1,63 @@
+// Retry policy with error classification and exponential backoff.
+//
+// The lab sweep engine re-runs failed (cell, replication) units with their
+// original seed, so a retry of a deterministic bug fails identically while
+// a transient failure (allocation pressure, a faulted I/O path) gets fresh
+// attempts.  Classification decides whether a backoff sleep is worth it:
+// resource/system errors are transient (backoff between attempts), logic
+// and precondition errors are deterministic (retried immediately, since
+// sleeping cannot change a pure function's outcome).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace gridtrust {
+
+/// Coarse taxonomy of a caught exception, stable enough to serialize.
+enum class ErrorClass {
+  kPrecondition,  ///< gridtrust::PreconditionError — bad input, deterministic
+  kInvariant,     ///< gridtrust::InvariantError — a library bug, deterministic
+  kResource,      ///< bad_alloc / system_error — transient under load
+  kTimeout,       ///< a unit overran its wall-clock deadline
+  kUnknown,       ///< any other std::exception (or a non-exception throw)
+};
+
+/// Classifies a caught exception; call inside a catch block with
+/// std::current_exception().  Never throws.
+ErrorClass classify_error(const std::exception_ptr& error) noexcept;
+
+/// Extracts what() from a caught exception ("<non-standard exception>"
+/// otherwise).  Never throws.
+std::string describe_error(const std::exception_ptr& error) noexcept;
+
+/// Serialized form used in manifests ("precondition", "invariant",
+/// "resource", "timeout", "unknown") and its inverse.
+std::string to_string(ErrorClass error_class);
+ErrorClass parse_error_class(const std::string& text);
+
+/// True for classes where re-running the same pure computation can
+/// plausibly succeed (so backoff between attempts is worthwhile).
+bool is_transient(ErrorClass error_class);
+
+/// How failed units are retried.  The defaults retry nothing (one attempt)
+/// so callers opt into fault tolerance explicitly.
+struct RetryPolicy {
+  /// Total attempts per unit, including the first (>= 1).
+  std::size_t max_attempts = 1;
+  /// Backoff before retry k (1-based) of a *transient* failure:
+  /// min(backoff_initial_ms * backoff_factor^(k-1), backoff_max_ms).
+  /// Deterministic failure classes retry without sleeping.
+  std::uint64_t backoff_initial_ms = 10;
+  double backoff_factor = 2.0;
+  std::uint64_t backoff_max_ms = 2000;
+
+  /// The backoff (milliseconds) to sleep before retry `retry_index`
+  /// (1-based) of a failure of `error_class`; 0 for deterministic classes.
+  std::uint64_t backoff_ms(std::size_t retry_index,
+                           ErrorClass error_class) const;
+};
+
+}  // namespace gridtrust

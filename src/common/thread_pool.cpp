@@ -48,34 +48,45 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   GT_REQUIRE(body != nullptr, "parallel_for requires a body");
   if (n == 0) return;
+  // A throw from body(i) must not kill the claiming worker: that would
+  // silently serialize the dead worker's remaining share onto survivors
+  // (or, inline, skip the tail entirely).  Every index is attempted; the
+  // error with the lowest index is rethrown afterwards so the outcome is
+  // deterministic regardless of which worker hit it first.
+  std::mutex error_mutex;
+  std::size_t first_error_index = 0;
+  std::exception_ptr first_error;
+  const auto guarded_body = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error || i < first_error_index) {
+        first_error = std::current_exception();
+        first_error_index = i;
+      }
+    }
+  };
   if (on_worker_thread()) {
     // Nested call from one of our own tasks: enqueueing would leave this
     // worker blocked on sub-tasks that may never be picked up.  Run inline.
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  // A shared atomic cursor balances uneven per-index costs.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t n_tasks = std::min(n, threads_.size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(n_tasks);
-  for (std::size_t t = 0; t < n_tasks; ++t) {
-    futures.push_back(submit([cursor, n, &body] {
-      for (;;) {
-        const std::size_t i = cursor->fetch_add(1);
-        if (i >= n) break;
-        body(i);
-      }
-    }));
-  }
-  // Rethrow the first failure after all workers finish.
-  std::exception_ptr first_error;
-  for (auto& fut : futures) {
-    try {
-      fut.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+    for (std::size_t i = 0; i < n; ++i) guarded_body(i);
+  } else {
+    // A shared atomic cursor balances uneven per-index costs.
+    auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t n_tasks = std::min(n, threads_.size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(n_tasks);
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      futures.push_back(submit([cursor, n, &guarded_body] {
+        for (;;) {
+          const std::size_t i = cursor->fetch_add(1);
+          if (i >= n) break;
+          guarded_body(i);
+        }
+      }));
     }
+    for (auto& fut : futures) fut.get();
   }
   if (first_error) std::rethrow_exception(first_error);
 }

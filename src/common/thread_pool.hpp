@@ -38,8 +38,11 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Runs body(i) for i in [0, n), distributing indices over the pool and
-  /// blocking until all complete.  The first exception thrown by any body
-  /// is rethrown on the caller thread.
+  /// blocking until all complete.  A throw from body(i) never kills the
+  /// claiming worker (every index is attempted even when earlier ones
+  /// fail); the failure with the lowest index is rethrown on the caller
+  /// thread once all indices finish.  Callers that need per-index fault
+  /// containment catch inside the body (see lab::run_sweep).
   ///
   /// Safe to call from inside one of this pool's own tasks: a nested call
   /// runs its body inline on the calling worker instead of enqueueing (which

@@ -5,9 +5,15 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "obs/json_in.hpp"
+#include "obs/metrics.hpp"
 
 namespace gridtrust::lab {
+
+namespace {
+const obs::Counter kCorruptEvictions("lab.cache_corrupt_evictions");
+}  // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   GT_REQUIRE(!dir_.empty(), "cache directory must not be empty");
@@ -19,22 +25,29 @@ std::string ResultCache::path_for(std::uint64_t key) const {
 }
 
 std::optional<ManifestCell> ResultCache::load(std::uint64_t key) const {
-  std::ifstream in(path_for(key));
+  const std::string path = path_for(key);
+  std::ifstream in(path);
   if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  in.close();
   try {
     return parse_manifest_cell(obs::parse_json(buffer.str()));
   } catch (const PreconditionError&) {
-    return std::nullopt;  // corrupt entry: treat as a miss, recompute
+    // Corrupt entry: evict the file so it is not re-parsed on every run,
+    // and surface the eviction instead of silently miscounting it as a
+    // plain miss.
+    kCorruptEvictions.add();
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+    return std::nullopt;
   }
 }
 
 void ResultCache::store(std::uint64_t key, const ManifestCell& cell) const {
-  std::ofstream out(path_for(key), std::ios::trunc);
-  GT_REQUIRE(static_cast<bool>(out),
-             "cannot write cache entry: " + path_for(key));
-  out << cell_to_json(cell) << "\n";
+  // Atomic write-temp-then-rename: a crash mid-store can never leave a
+  // torn entry for the next run to trip over.
+  atomic_write_file(path_for(key), cell_to_json(cell) + "\n");
 }
 
 }  // namespace gridtrust::lab

@@ -18,16 +18,21 @@
 namespace gridtrust::lab {
 
 /// Directory-backed cache: one `<key>.json` file per cell (the
-/// cell_to_json shape).  Unreadable or corrupt entries count as misses.
+/// cell_to_json shape).  Unreadable or corrupt entries count as misses;
+/// corrupt ones are additionally deleted (so they are not re-parsed on
+/// every run) and counted in the `lab.cache_corrupt_evictions` metric.
 class ResultCache {
  public:
   /// Opens (creating if needed) the cache directory.
   explicit ResultCache(std::string dir);
 
-  /// Loads the cell stored under `key`, or nullopt on a miss.
+  /// Loads the cell stored under `key`, or nullopt on a miss.  A corrupt
+  /// entry is evicted from disk before reporting the miss.
   std::optional<ManifestCell> load(std::uint64_t key) const;
 
-  /// Stores `cell` under `key` (overwrites).
+  /// Stores `cell` under `key` (overwrites) via atomic
+  /// write-temp-then-rename, so a crash mid-store never leaves a torn
+  /// entry.
   void store(std::uint64_t key, const ManifestCell& cell) const;
 
   const std::string& dir() const { return dir_; }

@@ -2,11 +2,17 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fs.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "lab/cache.hpp"
+#include "lab/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace gridtrust::lab {
@@ -16,24 +22,22 @@ namespace {
 const obs::Counter kCellsRun("lab.cells_run");
 const obs::Counter kCacheHits("lab.cache_hits");
 const obs::Counter kUnitsRun("lab.units_run");
+const obs::Counter kRetries("lab.retries");
+const obs::Counter kFailures("lab.failures");
 const obs::Histogram kUnitNs("lab.unit_ns", obs::duration_bounds_ns());
 
 /// Aggregates one cell's per-replication reports (the [begin, end) slice of
-/// the flat unit-result array) in first-seen metric order.
+/// the flat unit-result array) in first-seen metric order.  Failed units
+/// hold default-constructed (empty) reports, so they contribute nothing and
+/// each metric's n records the surviving sample count.
 AggregateSet aggregate_reports(const std::vector<obs::RunReport>& all,
                                std::size_t begin, std::size_t end) {
   AggregateSet out;
   std::vector<std::string> order;
+  std::unordered_set<std::string> seen;
   for (std::size_t r = begin; r < end; ++r) {
     for (const std::string& name : all[r].names()) {
-      bool seen = false;
-      for (const std::string& existing : order) {
-        if (existing == name) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) order.push_back(name);
+      if (seen.insert(name).second) order.push_back(name);
     }
   }
   for (const std::string& name : order) {
@@ -54,6 +58,9 @@ AggregateSet aggregate_reports(const std::vector<obs::RunReport>& all,
   }
   return out;
 }
+
+/// How one (cell, replication) unit ended.
+enum class UnitState : unsigned char { kNotRun, kOk, kFailed };
 
 }  // namespace
 
@@ -82,6 +89,8 @@ std::string git_revision() {
 SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   GT_REQUIRE(spec.run != nullptr,
              "spec \"" + spec.name + "\" has no runner");
+  GT_REQUIRE(options.retry.max_attempts >= 1,
+             "retry policy needs at least one attempt");
   const auto t0 = std::chrono::steady_clock::now();
 
   const std::uint64_t seed = options.seed.value_or(spec.seed);
@@ -113,39 +122,252 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
     cache = std::make_unique<ResultCache>(options.cache_dir);
   }
 
-  // Resolve cache hits first so only missing cells fan out.
+  // The checkpoint journal accumulates cleanly completed cells and is
+  // re-flushed atomically after each one, so a crash at any instant leaves
+  // a parseable record of all finished work.
+  Journal journal;
+  journal.spec = spec.name;
+  journal.spec_hash = run.manifest.spec_hash;
+  journal.seed = seed;
+  journal.replications = replications;
+  const bool journaling = !options.journal_path.empty();
+
+  // Resume: re-anchor the previous run's completed cells onto this grid.
+  // Only `ok` cells short-circuit — failed cells get a fresh chance.
+  std::vector<char> done(cells.size(), 0);
+  if (!options.resume_journal.empty()) {
+    if (std::optional<Journal> previous =
+            load_journal(options.resume_journal)) {
+      GT_REQUIRE(previous->spec_hash == run.manifest.spec_hash,
+                 "resume journal \"" + options.resume_journal +
+                     "\" records spec " + previous->spec + "/" +
+                     previous->spec_hash + ", not this sweep (" + spec.name +
+                     "/" + run.manifest.spec_hash + ")");
+      for (ManifestCell& cell : previous->cells) {
+        if (cell.status != CellStatus::kOk) continue;
+        if (cell.index >= cells.size()) continue;
+        const std::size_t i = cell.index;
+        if (cell.param_hash != hash_hex(cell_param_hash(cells[i]))) continue;
+        if (done[i]) continue;
+        done[i] = 1;
+        run.manifest.cells[i] = cell;
+        journal.cells.push_back(std::move(cell));
+        ++run.cells_resumed;
+      }
+    } else {
+      log_warn("resume journal ", options.resume_journal,
+               " does not exist; running the full sweep");
+    }
+  }
+
+  // Resolve cache hits next so only genuinely missing cells fan out.
   std::vector<std::size_t> missing;  // indices into `cells`
   for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (done[i]) continue;
     const Cell& cell = cells[i];
     if (cache != nullptr) {
       const std::uint64_t key = cell_cache_key(spec, seed, replications, cell);
       if (std::optional<ManifestCell> hit = cache->load(key);
           hit.has_value() && hit->params == cell.params) {
         hit->index = cell.index;  // re-anchor to this run's grid position
-        run.manifest.cells[i] = std::move(*hit);
+        run.manifest.cells[i] = *hit;
         ++run.cache_hits;
         kCacheHits.add();
+        if (journaling) journal.cells.push_back(std::move(*hit));
         continue;
       }
     }
     missing.push_back(i);
   }
 
+  if (journaling) {
+    // Flush the header (plus any resumed/cached prefix) before work starts,
+    // so even a crash in the first cell leaves a resumable journal.
+    atomic_write_file(options.journal_path, journal_to_jsonl(journal));
+  }
+
   // Fan out (cell, replication) units over the pool; every unit owns a
-  // preallocated slot, so execution order cannot affect the results.
-  std::vector<obs::RunReport> reports(missing.size() * replications);
+  // preallocated slot, so execution order cannot affect the results.  Each
+  // unit is fault-contained: a throw from the runner is retried per the
+  // policy (same derived seed — determinism preserved) and recorded as a
+  // structured UnitFailure on exhaustion instead of aborting the sweep.
+  const std::size_t units = missing.size() * replications;
+  std::vector<obs::RunReport> reports(units);
+  std::vector<UnitState> unit_states(units, UnitState::kNotRun);
+  std::vector<UnitFailure> unit_failures(units);
+
+  // Counts tracked atomically because workers update them concurrently.
+  std::atomic<std::size_t> units_run{0};
+  std::atomic<std::size_t> units_failed{0};
+  std::atomic<std::size_t> units_retried{0};
+
+  // With the zero failure budget the contract is "rethrow the first
+  // failure": keep the exhausted exception with the lowest unit index so
+  // the choice is deterministic under any worker interleaving.
+  std::mutex error_mutex;
+  std::size_t first_error_unit = 0;
+  std::exception_ptr first_error;
+
+  // Per-cell countdown: the worker that completes a cell's last unit
+  // finalizes it (aggregate + journal flush + cache store) immediately, so
+  // checkpoints land as cells finish, not at the end of the sweep.
+  auto remaining =
+      std::make_unique<std::atomic<std::size_t>[]>(missing.size());
+  for (std::size_t m = 0; m < missing.size(); ++m) {
+    remaining[m].store(replications, std::memory_order_relaxed);
+  }
+  std::mutex finalize_mutex;  // serializes journal flushes + cache stores
+
+  const auto finalize_cell = [&](std::size_t m) {
+    const std::size_t i = missing[m];
+    const Cell& cell = cells[i];
+    kCellsRun.add();
+
+    ManifestCell out;
+    out.index = cell.index;
+    out.params = cell.params;
+    out.param_hash = hash_hex(cell_param_hash(cell));
+    out.replications = replications;
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      const std::size_t unit = m * replications + rep;
+      if (unit_states[unit] == UnitState::kFailed) {
+        out.failures.push_back(unit_failures[unit]);
+      }
+    }
+    out.status =
+        out.failures.empty() ? CellStatus::kOk : CellStatus::kFailed;
+    out.metrics =
+        aggregate_reports(reports, m * replications, (m + 1) * replications)
+            .entries();
+    if (out.status == CellStatus::kOk && spec.finalize) {
+      AggregateSet aggregate;
+      for (const auto& [name, metric] : out.metrics) {
+        aggregate.set(name, metric);
+      }
+      try {
+        spec.finalize(cell, aggregate);
+        out.metrics = aggregate.entries();
+      } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        UnitFailure failure;
+        failure.rep = replications;  // sentinel: not a replication failure
+        failure.seed = seed;
+        failure.error_class = classify_error(error);
+        failure.message = "finalize: " + describe_error(error);
+        out.failures.push_back(std::move(failure));
+        out.status = CellStatus::kFailed;
+        units_failed.fetch_add(1, std::memory_order_relaxed);
+        kFailures.add();
+        std::lock_guard<std::mutex> lock(error_mutex);
+        const std::size_t unit = (m + 1) * replications - 1;
+        if (!first_error || unit < first_error_unit) {
+          first_error = error;
+          first_error_unit = unit;
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(finalize_mutex);
+    run.manifest.cells[i] = out;
+    if (out.status == CellStatus::kOk) {
+      if (cache != nullptr) {
+        cache->store(cell_cache_key(spec, seed, replications, cell), out);
+      }
+      if (journaling) {
+        journal.cells.push_back(std::move(out));
+        atomic_write_file(options.journal_path, journal_to_jsonl(journal));
+      }
+    }
+  };
+
   const auto run_unit = [&](std::size_t unit) {
-    const Cell& cell = cells[missing[unit / replications]];
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return;  // drained: state stays kNotRun, cell countdown stays short
+    }
+    const std::size_t m = unit / replications;
+    const Cell& cell = cells[missing[m]];
     const std::size_t rep = unit % replications;
     const std::uint64_t rep_seed =
         derive_rep_seed(seed, cell_param_hash(cell), rep);
     kUnitsRun.add();
-    obs::ScopedTimer timer(kUnitNs);
-    reports[unit] = spec.run(cell, rep_seed);
+    units_run.fetch_add(1, std::memory_order_relaxed);
+
+    std::exception_ptr last_error;
+    ErrorClass last_class = ErrorClass::kUnknown;
+    std::size_t attempts = 0;
+    for (; attempts < options.retry.max_attempts; ++attempts) {
+      if (attempts > 0 && options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        // Interrupted mid-retry: leave the unit kNotRun (no countdown
+        // decrement) so its cell is marked skipped and re-runs on resume.
+        return;
+      }
+      if (attempts > 0) {
+        kRetries.add();
+        units_retried.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t backoff =
+            options.retry.backoff_ms(attempts, last_class);
+        if (backoff > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        }
+      }
+      const auto attempt_start = std::chrono::steady_clock::now();
+      try {
+        obs::ScopedTimer timer(kUnitNs);
+        if (options.unit_sleep_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options.unit_sleep_ms));
+        }
+        obs::RunReport report = spec.run(cell, rep_seed);
+        if (options.unit_deadline_seconds > 0.0) {
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            attempt_start)
+                  .count();
+          if (elapsed > options.unit_deadline_seconds) {
+            last_error = std::make_exception_ptr(std::runtime_error(
+                "unit overran its deadline (" + std::to_string(elapsed) +
+                " s > " + std::to_string(options.unit_deadline_seconds) +
+                " s)"));
+            last_class = ErrorClass::kTimeout;
+            continue;  // result discarded; retried like any transient
+          }
+        }
+        reports[unit] = std::move(report);
+        unit_states[unit] = UnitState::kOk;
+        break;
+      } catch (...) {
+        last_error = std::current_exception();
+        last_class = classify_error(last_error);
+      }
+    }
+
+    if (unit_states[unit] != UnitState::kOk) {
+      UnitFailure failure;
+      failure.rep = rep;
+      failure.seed = rep_seed;
+      failure.error_class = last_class;
+      failure.message = describe_error(last_error);
+      failure.attempts = attempts;
+      unit_failures[unit] = std::move(failure);
+      unit_states[unit] = UnitState::kFailed;
+      units_failed.fetch_add(1, std::memory_order_relaxed);
+      kFailures.add();
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error || unit < first_error_unit) {
+        first_error = last_error;
+        first_error_unit = unit;
+      }
+    }
+
+    // acq_rel: the finalizing (last) decrementer must observe every other
+    // unit's report/state writes.
+    if (remaining[m].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finalize_cell(m);
+    }
   };
 
-  const std::size_t units = missing.size() * replications;
-  run.units_run = units;
   ThreadPool* pool = options.pool;
   std::unique_ptr<ThreadPool> owned;
   if (pool == nullptr && options.jobs == 0) pool = &ThreadPool::shared();
@@ -159,25 +381,48 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
     for (std::size_t unit = 0; unit < units; ++unit) run_unit(unit);
   }
 
-  // Aggregate, finalize, serialize, and (on the caller thread, so the cache
-  // sees no concurrent writers) store each fresh cell.
-  for (std::size_t m = 0; m < missing.size(); ++m) {
-    const std::size_t i = missing[m];
-    const Cell& cell = cells[i];
-    kCellsRun.add();
-    AggregateSet aggregate =
-        aggregate_reports(reports, m * replications, (m + 1) * replications);
-    if (spec.finalize) spec.finalize(cell, aggregate);
+  run.units_run = units_run.load();
+  run.units_failed = units_failed.load();
+  run.units_retried = units_retried.load();
 
-    ManifestCell& out = run.manifest.cells[i];
+  // Cells whose countdown never hit zero were cut short by cancellation:
+  // mark them skipped (partial replications are never aggregated, so a
+  // resumed run stays bit-identical to an uninterrupted one).
+  bool any_skipped = false;
+  for (std::size_t m = 0; m < missing.size(); ++m) {
+    if (remaining[m].load(std::memory_order_acquire) == 0) {
+      if (run.manifest.cells[missing[m]].status == CellStatus::kFailed) {
+        ++run.cells_failed;
+      }
+      continue;
+    }
+    any_skipped = true;
+    ++run.cells_skipped;
+    const Cell& cell = cells[missing[m]];
+    ManifestCell& out = run.manifest.cells[missing[m]];
     out.index = cell.index;
     out.params = cell.params;
     out.param_hash = hash_hex(cell_param_hash(cell));
     out.replications = replications;
-    out.metrics = aggregate.entries();
-    if (cache != nullptr) {
-      cache->store(cell_cache_key(spec, seed, replications, cell), out);
+    out.status = CellStatus::kSkipped;
+  }
+
+  const bool cancelled =
+      options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed);
+  if (cancelled && any_skipped) {
+    run.manifest.outcome = RunOutcome::kInterrupted;
+  } else if (run.units_failed > 0) {
+    const std::size_t total_units = cells.size() * replications;
+    const double failed_pct = 100.0 *
+                              static_cast<double>(run.units_failed) /
+                              static_cast<double>(total_units);
+    if (failed_pct > options.failure_budget_pct) {
+      // Over budget (or strict zero-budget mode): the journal already
+      // holds every completed cell, so completed work survives the throw.
+      std::rethrow_exception(first_error);
     }
+    run.manifest.outcome = RunOutcome::kPartial;
   }
 
   run.wall_seconds =

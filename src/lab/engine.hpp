@@ -11,17 +11,23 @@
 // the output.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "common/retry.hpp"
 #include "common/thread_pool.hpp"
 #include "lab/manifest.hpp"
 #include "lab/spec.hpp"
 
 namespace gridtrust::lab {
 
-/// Execution knobs (none of these can change the numbers).
+/// Execution knobs.  None of these can change the *numbers* — they decide
+/// how failures, crashes, and interruptions are handled around the pure
+/// (cell, rep_seed) computation.  (`unit_deadline_seconds` is the one
+/// documented exception: it gates on wall clock, so enabling it trades
+/// bit-determinism for hang containment.)
 struct EngineOptions {
   /// Worker threads: 1 = serial in the calling thread, N >= 2 = a pool of N,
   /// 0 = the process-wide ThreadPool::shared() sized to the hardware.
@@ -34,6 +40,38 @@ struct EngineOptions {
   /// External pool to fan out on (overrides `jobs` when set).  The engine
   /// never nests parallel_for, so sharing one pool across layers is safe.
   ThreadPool* pool = nullptr;
+
+  /// Per-unit retry policy.  Failed units re-run with their original
+  /// derived seed (determinism preserved); transient classes (resource,
+  /// timeout, unknown) back off exponentially between attempts.
+  RetryPolicy retry;
+  /// Percentage of the sweep's (cell, replication) units allowed to
+  /// exhaust retries before the run aborts.  0 (default) keeps the
+  /// historical strict contract: the first exhausted unit's exception is
+  /// rethrown (after every other unit has been attempted).  > 0 downgrades
+  /// a within-budget run to outcome `partial` instead of throwing.
+  double failure_budget_pct = 0.0;
+  /// Checkpoint journal path: every cleanly completed cell is flushed here
+  /// via atomic write-temp-then-rename as it finishes.  Empty disables.
+  std::string journal_path;
+  /// Journal to resume from: completed `ok` cells re-load (guarded by the
+  /// spec content hash) and only the remainder runs.  A missing file is
+  /// treated as an empty journal (the previous run died before its first
+  /// checkpoint).  Failed cells in the journal re-run.
+  std::string resume_journal;
+  /// Per-unit wall-clock deadline in seconds; a unit whose attempt overruns
+  /// is recorded as a `timeout` failure (its result is discarded) instead
+  /// of silently stalling the sweep.  0 disables.  Wall-clock gated, so
+  /// enabling it forfeits bit-determinism on overrun.
+  double unit_deadline_seconds = 0.0;
+  /// Cooperative cancellation (the CLI points this at its signal flag).
+  /// Once set, no new unit starts; in-flight units drain, fully-finished
+  /// cells are journaled, the rest are marked `skipped`, and the manifest
+  /// outcome becomes `interrupted`.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test aid: artificial latency (ms) added to every unit, to widen the
+  /// interruption window in kill/resume tests.  Never changes results.
+  std::uint64_t unit_sleep_ms = 0;
 };
 
 /// One engine run: the manifest plus execution facts that deliberately stay
@@ -44,11 +82,20 @@ struct SweepRun {
   std::size_t cells = 0;
   std::size_t cache_hits = 0;
   std::size_t units_run = 0;  ///< (cell, replication) pairs computed fresh
+  std::size_t units_failed = 0;   ///< units that exhausted their retries
+  std::size_t units_retried = 0;  ///< extra attempts consumed by retries
+  std::size_t cells_failed = 0;
+  std::size_t cells_skipped = 0;   ///< never (fully) ran: interrupted
+  std::size_t cells_resumed = 0;   ///< re-loaded from the resume journal
   double wall_seconds = 0.0;
 };
 
-/// Runs the sweep.  Throws PreconditionError on a spec without a runner or
-/// with an empty axis; exceptions from the runner propagate.
+/// Runs the sweep.  Throws PreconditionError on a spec without a runner,
+/// with an empty axis, or on a resume journal from a different sweep.
+/// Runner exceptions are contained per unit (see EngineOptions::retry /
+/// failure_budget_pct); with the default zero budget the first exhausted
+/// unit's exception is rethrown once every unit has been attempted, after
+/// the journal (if any) has been flushed.
 SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options = {});
 
 /// The cache key of one cell under an effective (seed, replications):

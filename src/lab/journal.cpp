@@ -1,0 +1,81 @@
+#include "lab/journal.hpp"
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+#include "obs/json.hpp"
+#include "obs/json_in.hpp"
+
+namespace gridtrust::lab {
+
+namespace {
+
+constexpr const char* kJournalSchema = "gridtrust.lab.journal/v1";
+
+using obs::detail::json_escape;
+using obs::detail::json_number;
+
+}  // namespace
+
+std::string journal_to_jsonl(const Journal& journal) {
+  std::string out = "{\"schema\":\"";
+  out += kJournalSchema;
+  out += "\",\"spec\":\"";
+  out += json_escape(journal.spec);
+  out += "\",\"spec_hash\":\"";
+  out += json_escape(journal.spec_hash);
+  out += "\",\"seed\":";
+  out += json_number(static_cast<double>(journal.seed));
+  out += ",\"replications\":";
+  out += json_number(static_cast<double>(journal.replications));
+  out += "}\n";
+  for (const ManifestCell& cell : journal.cells) {
+    out += cell_to_json(cell);
+    out += '\n';
+  }
+  return out;
+}
+
+Journal parse_journal(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (i > start) lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  GT_REQUIRE(!lines.empty(), "empty journal");
+
+  const obs::JsonValue header = obs::parse_json(lines.front());
+  GT_REQUIRE(header.has("schema") &&
+                 header.at("schema").as_string() == kJournalSchema,
+             "unknown journal schema");
+  Journal journal;
+  journal.spec = header.at("spec").as_string();
+  journal.spec_hash = header.at("spec_hash").as_string();
+  journal.seed = static_cast<std::uint64_t>(header.at("seed").as_number());
+  journal.replications =
+      static_cast<std::size_t>(header.at("replications").as_number());
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    try {
+      journal.cells.push_back(
+          parse_manifest_cell(obs::parse_json(lines[i])));
+    } catch (const PreconditionError&) {
+      // A torn tail (non-atomic writer died mid-line) is recoverable: the
+      // cell simply re-runs.  Anywhere else, the file is corrupt.
+      GT_REQUIRE(i == lines.size() - 1,
+                 "corrupt journal cell at line " + std::to_string(i + 1));
+    }
+  }
+  return journal;
+}
+
+std::optional<Journal> load_journal(const std::string& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  return parse_journal(read_file(path));
+}
+
+}  // namespace gridtrust::lab

@@ -1,0 +1,56 @@
+// Crash-safe sweep checkpoint journal.
+//
+// While a sweep runs, every cell that completes cleanly is appended to an
+// in-memory journal which is flushed to disk through
+// gridtrust::atomic_write_file — so at any instant the on-disk file is a
+// complete, parseable record of some prefix of the finished work, even
+// across SIGKILL.  `--resume <journal>` loads it back, re-anchors the
+// completed cells onto the expanded grid (guarded by the spec content
+// hash, so a journal can never resume a different sweep), and runs only
+// the remainder; because each cell's results are a pure function of
+// (spec, seed), the resumed manifest is byte-identical to an
+// uninterrupted run.
+//
+// Format: JSON lines.  The first line is a header object; each further
+// line is one completed cell in the cell_to_json shape:
+//
+//   {"schema":"gridtrust.lab.journal/v1","spec":...,"spec_hash":...,
+//    "seed":...,"replications":...}
+//   {"index":0,"params":{...},...}
+//   {"index":3,"params":{...},...}
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lab/manifest.hpp"
+
+namespace gridtrust::lab {
+
+/// The parsed (or accumulating) journal: run identity plus completed cells
+/// in completion order.
+struct Journal {
+  std::string spec;
+  /// hash_hex(content hash) of the effective spec — must match for resume.
+  std::string spec_hash;
+  std::uint64_t seed = 0;
+  std::size_t replications = 0;
+  std::vector<ManifestCell> cells;
+};
+
+/// Serializes header + cells as JSON lines (deterministic for a given
+/// cell order).
+std::string journal_to_jsonl(const Journal& journal);
+
+/// Parses a journal document.  Throws PreconditionError on a malformed
+/// header or unknown schema; a malformed *cell* line is tolerated only as
+/// the final line (a torn tail from a non-atomic writer) and is dropped.
+Journal parse_journal(const std::string& text);
+
+/// Loads and parses a journal file, or nullopt when the file does not
+/// exist (resume of a run that died before its first checkpoint).
+std::optional<Journal> load_journal(const std::string& path);
+
+}  // namespace gridtrust::lab

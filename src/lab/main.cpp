@@ -5,22 +5,33 @@
 //       documents each one).
 //   gridtrust_lab run <spec|suite>... [--jobs N] [--seed S]
 //       [--replications R] [--out PATH] [--cache-dir DIR] [--csv]
-//       [--metrics-out PATH]
+//       [--metrics-out PATH] [--retries N] [--failure-budget PCT]
+//       [--journal PATH] [--resume PATH] [--unit-deadline SECONDS]
 //       Runs the named sweeps on the engine.  --jobs 0 uses the shared
 //       hardware-sized pool; manifests are byte-identical for every --jobs
 //       value.  --out writes the manifest (a directory when several specs
 //       run).  --cache-dir skips cells whose content key was computed
-//       before.
+//       before.  Failed units retry (--retries) and downgrade the run to a
+//       partial manifest while within --failure-budget; --journal
+//       checkpoints completed cells crash-safely and --resume re-loads
+//       them.  SIGINT/SIGTERM drain in-flight units, flush the journal and
+//       a partial manifest, and exit 130.
 //   gridtrust_lab compare <manifest> <baseline> [--tolerance PCT]
 //       Gates a manifest against a committed baseline; exits 1 on any
 //       violated gate (CI uses this with baselines/).
+//
+// Exit codes (documented in docs/experiments-guide.md): 0 = complete runs
+// / compare pass, 1 = compare violations, 2 = usage or fatal error
+// (including a blown failure budget), 4 = partial outcome (failures within
+// budget), 130 = interrupted.
+#include <atomic>
+#include <csignal>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "lab/catalog.hpp"
 #include "lab/engine.hpp"
 #include "lab/render.hpp"
@@ -30,18 +41,21 @@ namespace {
 
 using namespace gridtrust;
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  GT_REQUIRE(static_cast<bool>(in), "cannot read: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+// Exit codes beyond the conventional 0/1/2.
+constexpr int kExitPartial = 4;
+constexpr int kExitInterrupted = 130;  // 128 + SIGINT, the shell convention
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_signal(int) {
+  // Only an async-signal-safe flag store: the engine polls it between
+  // units, drains in-flight work, and flushes journal + partial manifest.
+  g_interrupted.store(true, std::memory_order_relaxed);
 }
 
-void write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  GT_REQUIRE(static_cast<bool>(out), "cannot write: " + path);
-  out << content;
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
 }
 
 int cmd_list() {
@@ -87,12 +101,39 @@ int cmd_run(const std::vector<std::string>& names, const CliParser& cli) {
   }
   options.cache_dir = cli.get_string("cache-dir");
 
+  // Fault tolerance: N retries = N + 1 attempts; the CLI default budget is
+  // fully tolerant (a long campaign should survive a sick cell), while
+  // library callers keep the strict zero-budget default.
+  const std::int64_t retries = cli.get_int("retries");
+  GT_REQUIRE(retries >= 0, "--retries must be >= 0");
+  options.retry.max_attempts = static_cast<std::size_t>(retries) + 1;
+  options.failure_budget_pct = cli.get_double("failure-budget");
+  GT_REQUIRE(options.failure_budget_pct >= 0.0 &&
+                 options.failure_budget_pct <= 100.0,
+             "--failure-budget must be in [0, 100]");
+  options.unit_deadline_seconds = cli.get_double("unit-deadline");
+  options.unit_sleep_ms =
+      static_cast<std::uint64_t>(cli.get_int("unit-sleep-ms"));
+  options.journal_path = cli.get_string("journal");
+  options.resume_journal = cli.get_string("resume");
+  if (!options.resume_journal.empty() && options.journal_path.empty()) {
+    // Resuming naturally continues checkpointing into the same journal.
+    options.journal_path = options.resume_journal;
+  }
+  GT_REQUIRE(resolved.size() == 1 || (options.journal_path.empty() &&
+                                      options.resume_journal.empty()),
+             "--journal/--resume track one spec; run suites without them");
+
+  install_signal_handlers();
+  options.cancel = &g_interrupted;
+
   const std::string out_path = cli.get_string("out");
   const bool out_is_dir = resolved.size() > 1 && !out_path.empty();
   if (out_is_dir) std::filesystem::create_directories(out_path);
 
   obs::MetricsExportScope metrics(cli);
   double total_wall = 0.0;
+  int exit_code = 0;
   for (const std::string& name : resolved) {
     const lab::SweepSpec* spec = lab::find_spec(name);
     GT_REQUIRE(spec != nullptr, "unknown spec: " + name);
@@ -107,20 +148,51 @@ int cmd_run(const std::vector<std::string>& names, const CliParser& cli) {
     std::cout << "  expected: " << spec->expected << "\n"
               << "  " << run.cells << " cells, " << run.units_run
               << " units run, " << run.cache_hits << " cache hits, "
-              << format_grouped(run.wall_seconds, 2) << " s wall\n\n";
+              << format_grouped(run.wall_seconds, 2) << " s wall\n";
+    if (run.manifest.outcome != lab::RunOutcome::kComplete ||
+        run.units_failed > 0 || run.units_retried > 0 ||
+        run.cells_resumed > 0) {
+      std::cout << "  outcome: " << lab::to_string(run.manifest.outcome)
+                << " (" << run.units_failed << " units failed, "
+                << run.units_retried << " retries, " << run.cells_failed
+                << " cells failed, " << run.cells_skipped
+                << " cells skipped, " << run.cells_resumed
+                << " cells resumed)\n";
+      for (const lab::ManifestCell& cell : run.manifest.cells) {
+        for (const lab::UnitFailure& failure : cell.failures) {
+          std::cout << "    cell " << cell.index << " rep " << failure.rep
+                    << " [" << to_string(failure.error_class) << " after "
+                    << failure.attempts << " attempt(s)]: "
+                    << failure.message << "\n";
+        }
+      }
+    }
+    std::cout << "\n";
 
     if (!out_path.empty()) {
       const std::string path =
           out_is_dir ? out_path + "/" + name + ".json" : out_path;
-      write_file(path, lab::to_json(run.manifest));
+      atomic_write_file(path, lab::to_json(run.manifest));
       std::cout << "  manifest: " << path << "\n\n";
     }
+
+    switch (run.manifest.outcome) {
+      case lab::RunOutcome::kComplete:
+        break;
+      case lab::RunOutcome::kPartial:
+        exit_code = std::max(exit_code, kExitPartial);
+        break;
+      case lab::RunOutcome::kInterrupted:
+        exit_code = kExitInterrupted;
+        break;
+    }
+    if (exit_code == kExitInterrupted) break;  // don't start the next spec
   }
   if (resolved.size() > 1) {
     std::cout << "total: " << format_grouped(total_wall, 2) << " s wall over "
               << resolved.size() << " specs\n";
   }
-  return 0;
+  return exit_code;
 }
 
 int cmd_compare(const std::vector<std::string>& paths, const CliParser& cli) {
@@ -177,6 +249,24 @@ int main(int argc, char** argv) {
   cli.add_double("tolerance", -1.0,
                  "compare gate in percent (negative = baseline's own)");
   cli.add_flag("csv", "emit CSV instead of ASCII tables");
+  cli.add_int("retries", 0,
+              "retries per failed (cell, replication) unit; retried units "
+              "re-run with their original seed");
+  cli.add_double("failure-budget", 100.0,
+                 "percent of units allowed to fail before the run aborts "
+                 "(0 = strict: rethrow the first failure)");
+  cli.add_string("journal", "",
+                 "checkpoint journal: completed cells are flushed here "
+                 "crash-safely as they finish");
+  cli.add_string("resume", "",
+                 "resume from a checkpoint journal (reruns only unfinished "
+                 "cells; bit-identical to an uninterrupted run)");
+  cli.add_double("unit-deadline", 0.0,
+                 "per-unit wall-clock deadline in seconds; overrunning "
+                 "units are recorded as timeout failures (0 = off)");
+  cli.add_int("unit-sleep-ms", 0,
+              "test aid: artificial per-unit latency in milliseconds "
+              "(never changes results)");
   obs::add_metrics_flags(cli);
 
   try {

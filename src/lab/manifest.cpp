@@ -43,7 +43,9 @@ void append_cell(std::string& out, const ManifestCell& cell) {
   out += json_escape(cell.param_hash);
   out += "\",\"replications\":";
   out += json_number(static_cast<double>(cell.replications));
-  out += ",\"metrics\":{";
+  out += ",\"status\":\"";
+  out += to_string(cell.status);
+  out += "\",\"metrics\":{";
   bool first = true;
   for (const auto& [name, agg] : cell.metrics) {
     if (!first) out += ',';
@@ -58,7 +60,30 @@ void append_cell(std::string& out, const ManifestCell& cell) {
     out += json_number(static_cast<double>(agg.n));
     out += '}';
   }
-  out += "}}";
+  out += '}';
+  if (!cell.failures.empty()) {
+    out += ",\"failures\":[";
+    bool first_failure = true;
+    for (const UnitFailure& failure : cell.failures) {
+      if (!first_failure) out += ',';
+      first_failure = false;
+      out += "{\"rep\":";
+      out += json_number(static_cast<double>(failure.rep));
+      // The derived rep seed uses all 64 bits; hex keeps it exact where a
+      // JSON double would round.
+      out += ",\"seed\":\"";
+      out += hash_hex(failure.seed);
+      out += "\",\"class\":\"";
+      out += to_string(failure.error_class);
+      out += "\",\"message\":\"";
+      out += json_escape(failure.message);
+      out += "\",\"attempts\":";
+      out += json_number(static_cast<double>(failure.attempts));
+      out += '}';
+    }
+    out += ']';
+  }
+  out += '}';
 }
 
 std::vector<std::pair<std::string, ParamValue>> parse_params(
@@ -91,7 +116,57 @@ std::string params_label(
   return out;
 }
 
+/// Parses the 16-hex-digit seed rendering used in failure records.
+std::uint64_t parse_hex64(const std::string& text) {
+  GT_REQUIRE(!text.empty() && text.size() <= 16,
+             "malformed 64-bit hex value: " + text);
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      GT_REQUIRE(false, "malformed 64-bit hex value: " + text);
+    }
+  }
+  return value;
+}
+
 }  // namespace
+
+std::string to_string(CellStatus status) {
+  switch (status) {
+    case CellStatus::kOk: return "ok";
+    case CellStatus::kFailed: return "failed";
+    case CellStatus::kSkipped: return "skipped";
+  }
+  return "ok";
+}
+
+CellStatus parse_cell_status(const std::string& text) {
+  if (text == "ok") return CellStatus::kOk;
+  if (text == "failed") return CellStatus::kFailed;
+  GT_REQUIRE(text == "skipped", "unknown cell status: " + text);
+  return CellStatus::kSkipped;
+}
+
+std::string to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kComplete: return "complete";
+    case RunOutcome::kPartial: return "partial";
+    case RunOutcome::kInterrupted: return "interrupted";
+  }
+  return "complete";
+}
+
+RunOutcome parse_run_outcome(const std::string& text) {
+  if (text == "complete") return RunOutcome::kComplete;
+  if (text == "partial") return RunOutcome::kPartial;
+  GT_REQUIRE(text == "interrupted", "unknown run outcome: " + text);
+  return RunOutcome::kInterrupted;
+}
 
 std::string cell_to_json(const ManifestCell& cell) {
   std::string out;
@@ -116,7 +191,9 @@ std::string to_json(const Manifest& manifest) {
   out += json_number(static_cast<double>(manifest.replications));
   out += ",\"tolerance_pct\":";
   out += json_number(manifest.tolerance_pct);
-  out += ",\"cells\":[";
+  out += ",\"outcome\":\"";
+  out += to_string(manifest.outcome);
+  out += "\",\"cells\":[";
   bool first = true;
   for (const ManifestCell& cell : manifest.cells) {
     out += first ? "\n" : ",\n";
@@ -133,6 +210,10 @@ ManifestCell parse_manifest_cell(const obs::JsonValue& value) {
   cell.params = parse_params(value.at("params"));
   cell.param_hash = value.at("param_hash").as_string();
   cell.replications = parse_size(value.at("replications"), "replications");
+  // v1 cells carry no status/failures: default to ok.
+  if (value.has("status")) {
+    cell.status = parse_cell_status(value.at("status").as_string());
+  }
   for (const auto& [name, agg] : value.at("metrics").as_object()) {
     MetricAggregate m;
     m.mean = agg.at("mean").as_number();
@@ -140,15 +221,29 @@ ManifestCell parse_manifest_cell(const obs::JsonValue& value) {
     m.n = parse_size(agg.at("n"), "metric n");
     cell.metrics.emplace_back(name, m);
   }
+  if (value.has("failures")) {
+    for (const obs::JsonValue& f : value.at("failures").as_array()) {
+      UnitFailure failure;
+      failure.rep = parse_size(f.at("rep"), "failure rep");
+      failure.seed = parse_hex64(f.at("seed").as_string());
+      failure.error_class = parse_error_class(f.at("class").as_string());
+      failure.message = f.at("message").as_string();
+      failure.attempts = parse_size(f.at("attempts"), "failure attempts");
+      cell.failures.push_back(std::move(failure));
+    }
+  }
   return cell;
 }
 
 Manifest parse_manifest(const std::string& json) {
   const obs::JsonValue doc = obs::parse_json(json);
   Manifest m;
-  m.schema = doc.at("schema").as_string();
-  GT_REQUIRE(m.schema == "gridtrust.lab.manifest/v1",
-             "unknown manifest schema: " + m.schema);
+  const std::string schema = doc.at("schema").as_string();
+  GT_REQUIRE(schema == "gridtrust.lab.manifest/v2" ||
+                 schema == "gridtrust.lab.manifest/v1",
+             "unknown manifest schema: " + schema);
+  // v1 documents upgrade in place: the struct always carries v2 so a
+  // re-serialization writes the current schema.
   m.spec = doc.at("spec").as_string();
   m.title = doc.at("title").as_string();
   m.spec_hash = doc.at("spec_hash").as_string();
@@ -156,6 +251,9 @@ Manifest parse_manifest(const std::string& json) {
   m.seed = static_cast<std::uint64_t>(parse_size(doc.at("seed"), "seed"));
   m.replications = parse_size(doc.at("replications"), "replications");
   m.tolerance_pct = doc.at("tolerance_pct").as_number();
+  if (doc.has("outcome")) {
+    m.outcome = parse_run_outcome(doc.at("outcome").as_string());
+  }
   for (const obs::JsonValue& cell : doc.at("cells").as_array()) {
     m.cells.push_back(parse_manifest_cell(cell));
   }
@@ -211,6 +309,10 @@ CompareResult compare_manifests(const Manifest& candidate,
       fail(where_cell,
            "replications " + std::to_string(cand_cell->replications) +
                " vs baseline " + std::to_string(base_cell.replications));
+    }
+    if (cand_cell->status != base_cell.status) {
+      fail(where_cell, "status " + to_string(cand_cell->status) +
+                           " vs baseline " + to_string(base_cell.status));
     }
     for (const auto& [name, base_m] : base_cell.metrics) {
       const MetricAggregate* cand_m = nullptr;

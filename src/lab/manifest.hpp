@@ -7,6 +7,13 @@
 // value yields a byte-identical file, which is what makes manifests usable
 // as committed baselines (`gridtrust_lab compare`) and cacheable artifacts.
 //
+// Schema v2 adds failure semantics on top of v1: a run-level `outcome`
+// (complete | partial | interrupted), a per-cell `status` (ok | failed |
+// skipped), and structured per-unit failure records — all still pure
+// functions of (spec, seed) when the runner's failures are deterministic,
+// so the byte-stability contract holds.  v1 documents parse with the
+// obvious defaults (every cell ok, outcome complete).
+//
 // docs/observability.md documents every key of the schema.
 #pragma once
 
@@ -16,10 +23,45 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "lab/spec.hpp"
 #include "obs/json_in.hpp"
 
 namespace gridtrust::lab {
+
+/// One (cell, replication) unit that exhausted its retry budget.
+struct UnitFailure {
+  /// Replication index within the cell.
+  std::size_t rep = 0;
+  /// The derived rep seed the unit ran (and was retried) with.
+  std::uint64_t seed = 0;
+  ErrorClass error_class = ErrorClass::kUnknown;
+  std::string message;
+  /// Attempts consumed (>= 1; > 1 means retries happened).
+  std::size_t attempts = 1;
+
+  bool operator==(const UnitFailure&) const = default;
+};
+
+/// Per-cell completion status.
+enum class CellStatus {
+  kOk,      ///< every replication succeeded
+  kFailed,  ///< >= 1 replication exhausted retries; metrics cover survivors
+  kSkipped, ///< never (fully) ran — interrupted or budget-aborted
+};
+
+std::string to_string(CellStatus status);
+CellStatus parse_cell_status(const std::string& text);
+
+/// Run-level outcome.
+enum class RunOutcome {
+  kComplete,     ///< every cell ok
+  kPartial,      ///< >= 1 failed cell, within the failure budget
+  kInterrupted,  ///< drained early on SIGINT/SIGTERM or cancellation
+};
+
+std::string to_string(RunOutcome outcome);
+RunOutcome parse_run_outcome(const std::string& text);
 
 /// One grid point's results.  MetricAggregate lives in lab/spec.hpp.
 struct ManifestCell {
@@ -28,13 +70,18 @@ struct ManifestCell {
   /// hash_hex(cell_param_hash) — the value mixed into seed derivation.
   std::string param_hash;
   std::size_t replications = 0;
-  /// Insertion-ordered metric name -> aggregate.
+  CellStatus status = CellStatus::kOk;
+  /// Insertion-ordered metric name -> aggregate.  For a failed cell these
+  /// aggregate the surviving replications only (each metric's n says how
+  /// many); empty for a skipped cell.
   std::vector<std::pair<std::string, MetricAggregate>> metrics;
+  /// Exhausted units, ordered by replication index; empty when status ok.
+  std::vector<UnitFailure> failures;
 };
 
 /// The whole document.
 struct Manifest {
-  std::string schema = "gridtrust.lab.manifest/v1";
+  std::string schema = "gridtrust.lab.manifest/v2";
   std::string spec;
   std::string title;
   /// hash_hex(SweepSpec::content_hash()) under the effective seed and
@@ -44,6 +91,7 @@ struct Manifest {
   std::uint64_t seed = 0;
   std::size_t replications = 0;
   double tolerance_pct = 1.0;
+  RunOutcome outcome = RunOutcome::kComplete;
   std::vector<ManifestCell> cells;
 };
 
@@ -56,7 +104,10 @@ std::string to_json(const Manifest& manifest);
 std::string cell_to_json(const ManifestCell& cell);
 
 /// Parses a full manifest document; throws PreconditionError on malformed
-/// input or an unknown schema string.
+/// input or an unknown schema string.  Accepts both v1 (pre-failure-
+/// semantics; cells default to ok and the outcome to complete) and v2;
+/// the parsed struct always carries the v2 schema string, so a re-
+/// serialized v1 document upgrades in place.
 Manifest parse_manifest(const std::string& json);
 
 /// Parses one cell object (as written by cell_to_json).

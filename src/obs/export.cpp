@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "obs/json.hpp"
 
 namespace gridtrust::obs {
@@ -195,16 +195,17 @@ MetricsExportScope::~MetricsExportScope() {
   if (registry_ == nullptr) return;
   install(nullptr);
   const Snapshot snap = registry_->snapshot();
-  std::ofstream out(path_);
-  if (!out) {
-    // Destructors must not throw; warn instead of silently losing the dump.
-    std::fprintf(stderr, "warning: cannot write metrics dump to %s\n",
-                 path_.c_str());
-    return;
-  }
   const bool csv =
       path_.size() >= 4 && path_.compare(path_.size() - 4, 4, ".csv") == 0;
-  out << (csv ? to_csv(snap) : to_json(snap)) << "\n";
+  try {
+    // Atomic rename: a crash (or a concurrent reader) never sees a torn
+    // dump.
+    atomic_write_file(path_, (csv ? to_csv(snap) : to_json(snap)) + "\n");
+  } catch (const std::exception& e) {
+    // Destructors must not throw; warn instead of silently losing the dump.
+    std::fprintf(stderr, "warning: cannot write metrics dump to %s: %s\n",
+                 path_.c_str(), e.what());
+  }
 }
 
 }  // namespace gridtrust::obs

@@ -1,8 +1,10 @@
 // Tests for the support library: RNG, statistics, tables, CLI, thread pool,
-// units, and error handling.
+// filesystem/retry helpers, units, and error handling.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -10,7 +12,9 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "common/log.hpp"
+#include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -586,6 +590,122 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
                                    if (i == 13) throw std::runtime_error("13");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, WorkersSurviveBodyFailures) {
+  // A throw must not kill the claiming worker's loop: every index is still
+  // attempted even when many bodies fail, on a pool of any size.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  EXPECT_THROW(pool.parallel_for(200,
+                                 [&](std::size_t i) {
+                                   hits[i]++;
+                                   if (i % 4 == 0) {
+                                     throw std::runtime_error(
+                                         std::to_string(i));
+                                   }
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 7 || i == 63) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "7");
+  }
+}
+
+// ---------------------------------------------------------------- fs
+
+TEST(Fs, AtomicWriteFileWritesAndOverwrites) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "gridtrust_fs_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "target.json").string();
+
+  atomic_write_file(path, "first");
+  EXPECT_EQ(read_file(path), "first");
+  atomic_write_file(path, "second, longer content\n");
+  EXPECT_EQ(read_file(path), "second, longer content\n");
+
+  // No temp droppings left behind.
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fs, AtomicWriteFileFailsCleanlyIntoMissingDirectory) {
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "gridtrust_fs_test_missing" / "deep" / "x.json")
+                               .string();
+  EXPECT_THROW(atomic_write_file(path, "content"), PreconditionError);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(Fs, ReadFileThrowsOnMissing) {
+  EXPECT_THROW((void)read_file("/nonexistent/gridtrust/file"),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------- retry
+
+TEST(Retry, ClassifiesStandardExceptionFamilies) {
+  const auto classify = [](auto&& make) {
+    try {
+      make();
+    } catch (...) {
+      return classify_error(std::current_exception());
+    }
+    return ErrorClass::kUnknown;
+  };
+  EXPECT_EQ(classify([] { throw PreconditionError("p"); }),
+            ErrorClass::kPrecondition);
+  EXPECT_EQ(classify([] { throw InvariantError("i"); }),
+            ErrorClass::kInvariant);
+  EXPECT_EQ(classify([] { throw std::bad_alloc(); }), ErrorClass::kResource);
+  EXPECT_EQ(classify([]() {
+              throw std::system_error(
+                  std::make_error_code(std::errc::io_error));
+            }),
+            ErrorClass::kResource);
+  EXPECT_EQ(classify([] { throw std::runtime_error("r"); }),
+            ErrorClass::kUnknown);
+}
+
+TEST(Retry, ErrorClassStringsRoundTrip) {
+  for (const ErrorClass c :
+       {ErrorClass::kPrecondition, ErrorClass::kInvariant,
+        ErrorClass::kResource, ErrorClass::kTimeout, ErrorClass::kUnknown}) {
+    EXPECT_EQ(parse_error_class(to_string(c)), c);
+  }
+  EXPECT_THROW((void)parse_error_class("bogus"), PreconditionError);
+}
+
+TEST(Retry, BackoffIsExponentialCappedAndSkippedForDeterministic) {
+  RetryPolicy policy;
+  policy.backoff_initial_ms = 10;
+  policy.backoff_factor = 2.0;
+  policy.backoff_max_ms = 50;
+  EXPECT_EQ(policy.backoff_ms(1, ErrorClass::kResource), 10u);
+  EXPECT_EQ(policy.backoff_ms(2, ErrorClass::kResource), 20u);
+  EXPECT_EQ(policy.backoff_ms(3, ErrorClass::kResource), 40u);
+  EXPECT_EQ(policy.backoff_ms(4, ErrorClass::kResource), 50u);  // capped
+  EXPECT_EQ(policy.backoff_ms(9, ErrorClass::kTimeout), 50u);
+  // Deterministic classes re-run immediately: sleeping cannot change a
+  // pure function's outcome.
+  EXPECT_EQ(policy.backoff_ms(1, ErrorClass::kPrecondition), 0u);
+  EXPECT_EQ(policy.backoff_ms(5, ErrorClass::kInvariant), 0u);
 }
 
 TEST(ThreadPool, SizeDefaultsToAtLeastOne) {

@@ -1,18 +1,27 @@
 // Lab sweep engine: grid expansion, seed derivation, parallel determinism,
-// the result cache, manifest round-trips, and baseline comparison gates.
+// fault containment and retry, checkpoint/resume, the result cache,
+// manifest round-trips, and baseline comparison gates.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <set>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "lab/cache.hpp"
 #include "lab/catalog.hpp"
 #include "lab/engine.hpp"
+#include "lab/journal.hpp"
 #include "lab/manifest.hpp"
 #include "lab/spec.hpp"
 #include "obs/json_in.hpp"
+#include "obs/metrics.hpp"
 
 namespace gridtrust::lab {
 namespace {
@@ -274,6 +283,415 @@ TEST(CatalogTest, SmokeSpecMatchesItsCommittedBaselineShape) {
   EXPECT_TRUE(names.count("unaware.makespan"));
   EXPECT_TRUE(names.count("aware.makespan"));
   EXPECT_TRUE(names.count("improvement_pct"));
+}
+
+// ------------------------------------------------ fault containment / retry
+
+/// Runner failing on a fixed (cell predicate, rep set).  Rep is recovered
+/// by matching the derived seed, so the failure is a pure function of the
+/// unit — bit-identical under any jobs value.
+SweepSpec failing_spec(std::set<std::size_t> failing_reps,
+                       double failing_alpha = 3.0) {
+  SweepSpec spec = tiny_spec();
+  spec.name = "tiny_failing";
+  spec.run = [failing_reps, failing_alpha](const Cell& cell,
+                                           std::uint64_t rep_seed) {
+    for (const std::size_t rep : failing_reps) {
+      if (cell.number("alpha") == failing_alpha &&
+          rep_seed == derive_rep_seed(99, cell_param_hash(cell), rep)) {
+        throw PreconditionError("synthetic failure in " + cell.label());
+      }
+    }
+    obs::RunReport report;
+    report.set("value", cell.number("alpha") * 10.0 +
+                            static_cast<double>(rep_seed % 1000) / 1000.0);
+    return report;
+  };
+  spec.finalize = nullptr;
+  return spec;
+}
+
+TEST(ContainmentTest, DefaultStrictModeRethrowsTheRunnerError) {
+  // The historical contract with the default zero failure budget.
+  EXPECT_THROW((void)run_sweep(failing_spec({0})), PreconditionError);
+}
+
+TEST(ContainmentTest, BudgetedRunCompletesHealthyCellsAndRecordsFailures) {
+  EngineOptions options;
+  options.failure_budget_pct = 50.0;
+  const SweepRun run = run_sweep(failing_spec({0}), options);
+
+  EXPECT_EQ(run.manifest.outcome, RunOutcome::kPartial);
+  EXPECT_EQ(run.units_failed, 2u);  // rep 0 of both alpha=3 cells
+  EXPECT_EQ(run.cells_failed, 2u);
+  ASSERT_EQ(run.manifest.cells.size(), 6u);
+  for (const ManifestCell& cell : run.manifest.cells) {
+    const bool failing = cell.params[0].second.number() == 3.0;
+    if (!failing) {
+      EXPECT_EQ(cell.status, CellStatus::kOk);
+      EXPECT_TRUE(cell.failures.empty());
+      ASSERT_FALSE(cell.metrics.empty());
+      EXPECT_EQ(cell.metrics[0].second.n, 4u);
+      continue;
+    }
+    EXPECT_EQ(cell.status, CellStatus::kFailed);
+    ASSERT_EQ(cell.failures.size(), 1u);
+    const UnitFailure& failure = cell.failures[0];
+    EXPECT_EQ(failure.rep, 0u);
+    EXPECT_EQ(failure.error_class, ErrorClass::kPrecondition);
+    EXPECT_EQ(failure.attempts, 1u);
+    EXPECT_NE(failure.message.find("synthetic failure"), std::string::npos);
+    // The failure records the exact derived seed of the doomed unit.
+    Cell grid_cell;
+    grid_cell.params = cell.params;
+    EXPECT_EQ(failure.seed, derive_rep_seed(99, cell_param_hash(grid_cell), 0));
+    // Metrics aggregate the three surviving replications.
+    ASSERT_FALSE(cell.metrics.empty());
+    EXPECT_EQ(cell.metrics[0].second.n, 3u);
+  }
+}
+
+TEST(ContainmentTest, FailedManifestsAreBitIdenticalAtAnyJobsValue) {
+  EngineOptions serial;
+  serial.failure_budget_pct = 50.0;
+  serial.jobs = 1;
+  EngineOptions parallel = serial;
+  parallel.jobs = 4;
+  EXPECT_EQ(to_json(run_sweep(failing_spec({0, 2}), serial).manifest),
+            to_json(run_sweep(failing_spec({0, 2}), parallel).manifest));
+}
+
+TEST(ContainmentTest, ExceededBudgetRethrows) {
+  EngineOptions options;
+  options.failure_budget_pct = 5.0;  // 2/24 units ≈ 8.3% > 5%
+  EXPECT_THROW((void)run_sweep(failing_spec({0}), options),
+               PreconditionError);
+}
+
+TEST(ContainmentTest, FailedCellsAreNeverCached) {
+  EngineOptions options;
+  options.failure_budget_pct = 50.0;
+  options.cache_dir = temp_dir("failed_cells");
+  (void)run_sweep(failing_spec({0}), options);
+  const SweepRun second = run_sweep(failing_spec({0}), options);
+  EXPECT_EQ(second.cache_hits, 4u);      // only the healthy cells
+  EXPECT_EQ(second.units_run, 2u * 4u);  // both failed cells re-run whole
+  EXPECT_EQ(second.manifest.outcome, RunOutcome::kPartial);
+}
+
+TEST(RetryTest, ExhaustionRecordsAttemptsAndDowngradesToPartial) {
+  EngineOptions options;
+  options.failure_budget_pct = 50.0;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_initial_ms = 0;  // deterministic class: no sleep
+  const SweepRun run = run_sweep(failing_spec({1}), options);
+  EXPECT_EQ(run.manifest.outcome, RunOutcome::kPartial);
+  EXPECT_EQ(run.units_failed, 2u);
+  // Each doomed unit consumed all three attempts → two retries apiece.
+  EXPECT_EQ(run.units_retried, 4u);
+  for (const ManifestCell& cell : run.manifest.cells) {
+    for (const UnitFailure& failure : cell.failures) {
+      EXPECT_EQ(failure.attempts, 3u);
+    }
+  }
+}
+
+TEST(RetryTest, TransientFailureSucceedsOnRetryWithTheSameSeed) {
+  // Shared state is test-only: a "flaky" runner that fails its first two
+  // calls for the alpha=1/rep=0 unit, then succeeds.
+  auto flaky_remaining = std::make_shared<std::atomic<int>>(2);
+  SweepSpec spec = tiny_spec();
+  spec.finalize = nullptr;
+  auto seen_seeds = std::make_shared<std::vector<std::uint64_t>>();
+  spec.run = [flaky_remaining, seen_seeds](const Cell& cell,
+                                           std::uint64_t rep_seed) {
+    if (cell.number("alpha") == 1.0 && cell.text("mode") == "fast" &&
+        rep_seed == derive_rep_seed(99, cell_param_hash(cell), 0)) {
+      seen_seeds->push_back(rep_seed);
+      if (flaky_remaining->fetch_sub(1) > 0) {
+        throw std::runtime_error("transient glitch");
+      }
+    }
+    obs::RunReport report;
+    report.set("value", cell.number("alpha"));
+    return report;
+  };
+
+  EngineOptions options;
+  options.jobs = 1;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_initial_ms = 1;
+  const SweepRun run = run_sweep(spec, options);
+  EXPECT_EQ(run.manifest.outcome, RunOutcome::kComplete);
+  EXPECT_EQ(run.units_failed, 0u);
+  EXPECT_EQ(run.units_retried, 2u);
+  // Seed-preserving re-run: all three attempts saw the identical seed.
+  ASSERT_EQ(seen_seeds->size(), 3u);
+  EXPECT_EQ((*seen_seeds)[0], (*seen_seeds)[1]);
+  EXPECT_EQ((*seen_seeds)[1], (*seen_seeds)[2]);
+  for (const ManifestCell& cell : run.manifest.cells) {
+    EXPECT_EQ(cell.status, CellStatus::kOk);
+  }
+}
+
+TEST(DeadlineTest, OverrunningUnitsAreMarkedTimeoutInsteadOfHanging) {
+  SweepSpec spec = tiny_spec();
+  spec.finalize = nullptr;
+  spec.axes = {{"alpha", {1}}, {"mode", {"fast"}}};
+  spec.replications = 2;
+  spec.run = [](const Cell& cell, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    obs::RunReport report;
+    report.set("value", cell.number("alpha"));
+    return report;
+  };
+  EngineOptions options;
+  options.failure_budget_pct = 100.0;
+  options.unit_deadline_seconds = 0.001;
+  const SweepRun run = run_sweep(spec, options);
+  EXPECT_EQ(run.manifest.outcome, RunOutcome::kPartial);
+  ASSERT_EQ(run.manifest.cells.size(), 1u);
+  const ManifestCell& cell = run.manifest.cells[0];
+  EXPECT_EQ(cell.status, CellStatus::kFailed);
+  ASSERT_EQ(cell.failures.size(), 2u);
+  for (const UnitFailure& failure : cell.failures) {
+    EXPECT_EQ(failure.error_class, ErrorClass::kTimeout);
+    EXPECT_NE(failure.message.find("deadline"), std::string::npos);
+  }
+  EXPECT_TRUE(cell.metrics.empty());  // overrun results are discarded
+}
+
+// ------------------------------------------------ journal / resume
+
+TEST(JournalTest, RoundTripsAndToleratesTornTail) {
+  const Manifest manifest = run_sweep(tiny_spec()).manifest;
+  Journal journal;
+  journal.spec = "tiny";
+  journal.spec_hash = manifest.spec_hash;
+  journal.seed = 99;
+  journal.replications = 4;
+  journal.cells = manifest.cells;
+
+  const std::string jsonl = journal_to_jsonl(journal);
+  const Journal parsed = parse_journal(jsonl);
+  EXPECT_EQ(parsed.spec, "tiny");
+  EXPECT_EQ(parsed.spec_hash, journal.spec_hash);
+  EXPECT_EQ(parsed.seed, 99u);
+  EXPECT_EQ(parsed.cells.size(), 6u);
+  EXPECT_EQ(journal_to_jsonl(parsed), jsonl);
+
+  // A torn final line (simulating a non-atomic writer dying mid-append)
+  // drops only that cell.
+  const std::string torn = jsonl.substr(0, jsonl.size() - 25);
+  EXPECT_EQ(parse_journal(torn).cells.size(), 5u);
+
+  // Corruption anywhere else is an error, as is a foreign header.
+  EXPECT_THROW((void)parse_journal("{\"schema\":\"other\"}\n"),
+               PreconditionError);
+}
+
+TEST(JournalTest, CancelledRunJournalsCompletedCellsAndResumeIsBitIdentical) {
+  const std::string dir = temp_dir("resume");
+  std::filesystem::create_directories(dir);
+  const std::string journal_path = dir + "/sweep.journal";
+
+  // Uninterrupted reference, serial.
+  EngineOptions reference_options;
+  reference_options.jobs = 1;
+  const std::string reference =
+      to_json(run_sweep(tiny_spec(), reference_options).manifest);
+
+  // Interrupted run: the runner itself trips the cancel flag partway in
+  // (after 10 of 24 units: cells 0-1 complete, cell 2 in flight).
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  auto units_done = std::make_shared<std::atomic<int>>(0);
+  SweepSpec spec = tiny_spec();
+  const auto inner = spec.run;
+  spec.run = [cancel, units_done, inner](const Cell& cell,
+                                         std::uint64_t rep_seed) {
+    obs::RunReport report = inner(cell, rep_seed);
+    if (units_done->fetch_add(1) + 1 >= 10) cancel->store(true);
+    return report;
+  };
+  EngineOptions interrupted_options;
+  interrupted_options.jobs = 1;
+  interrupted_options.journal_path = journal_path;
+  interrupted_options.cancel = cancel.get();
+  const SweepRun interrupted = run_sweep(spec, interrupted_options);
+  EXPECT_EQ(interrupted.manifest.outcome, RunOutcome::kInterrupted);
+  EXPECT_GE(interrupted.cells_skipped, 1u);
+  for (const ManifestCell& cell : interrupted.manifest.cells) {
+    EXPECT_NE(cell.status, CellStatus::kFailed);
+    if (cell.status == CellStatus::kSkipped) {
+      EXPECT_TRUE(cell.metrics.empty());
+    }
+  }
+
+  // The journal holds exactly the cleanly completed cells.
+  const std::optional<Journal> journal = load_journal(journal_path);
+  ASSERT_TRUE(journal.has_value());
+  EXPECT_EQ(journal->cells.size(),
+            tiny_spec().cells().size() - interrupted.cells_skipped);
+
+  // Resume with the pristine spec: only the remainder runs, and the final
+  // manifest is byte-identical to the uninterrupted reference.
+  EngineOptions resume_options;
+  resume_options.jobs = 1;
+  resume_options.resume_journal = journal_path;
+  const SweepRun resumed = run_sweep(tiny_spec(), resume_options);
+  EXPECT_EQ(resumed.cells_resumed, journal->cells.size());
+  EXPECT_EQ(resumed.units_run,
+            interrupted.cells_skipped * 4u);  // remainder only
+  EXPECT_EQ(resumed.manifest.outcome, RunOutcome::kComplete);
+  EXPECT_EQ(to_json(resumed.manifest), reference);
+}
+
+TEST(JournalTest, ResumeRejectsAForeignSweep) {
+  const std::string dir = temp_dir("resume_mismatch");
+  std::filesystem::create_directories(dir);
+  const std::string journal_path = dir + "/sweep.journal";
+  EngineOptions options;
+  options.journal_path = journal_path;
+  (void)run_sweep(tiny_spec(), options);
+
+  SweepSpec reseeded = tiny_spec();
+  reseeded.seed = 1234;  // different content hash → different sweep
+  EngineOptions resume_options;
+  resume_options.resume_journal = journal_path;
+  EXPECT_THROW((void)run_sweep(reseeded, resume_options), PreconditionError);
+}
+
+TEST(JournalTest, ResumeFromMissingJournalRunsTheFullSweep) {
+  EngineOptions options;
+  options.resume_journal = temp_dir("no_such") + "/gone.journal";
+  const SweepRun run = run_sweep(tiny_spec(), options);
+  EXPECT_EQ(run.cells_resumed, 0u);
+  EXPECT_EQ(run.units_run, 24u);
+  EXPECT_EQ(run.manifest.outcome, RunOutcome::kComplete);
+}
+
+TEST(JournalTest, FailedCellsRerunOnResume) {
+  const std::string dir = temp_dir("resume_failed");
+  std::filesystem::create_directories(dir);
+  const std::string journal_path = dir + "/sweep.journal";
+
+  EngineOptions options;
+  options.failure_budget_pct = 50.0;
+  options.journal_path = journal_path;
+  const SweepRun partial = run_sweep(failing_spec({0}), options);
+  EXPECT_EQ(partial.manifest.outcome, RunOutcome::kPartial);
+  // Journal records only the four healthy cells.
+  EXPECT_EQ(load_journal(journal_path)->cells.size(), 4u);
+
+  // Resuming with a fixed runner completes the sweep bit-identically to a
+  // clean run of that fixed spec.
+  SweepSpec fixed = failing_spec({});  // same grid/hash inputs, no failures
+  EngineOptions resume_options;
+  resume_options.resume_journal = journal_path;
+  const SweepRun resumed = run_sweep(fixed, resume_options);
+  EXPECT_EQ(resumed.cells_resumed, 4u);
+  EXPECT_EQ(resumed.units_run, 8u);
+  EXPECT_EQ(resumed.manifest.outcome, RunOutcome::kComplete);
+  EXPECT_EQ(to_json(resumed.manifest), to_json(run_sweep(fixed).manifest));
+}
+
+// ------------------------------------------------ v2 schema / atomic write
+
+TEST(ManifestV2Test, FailureRecordsRoundTripByteForByte) {
+  EngineOptions options;
+  options.failure_budget_pct = 50.0;
+  options.retry.max_attempts = 2;
+  options.retry.backoff_initial_ms = 0;
+  const Manifest manifest = run_sweep(failing_spec({0}), options).manifest;
+  EXPECT_EQ(manifest.outcome, RunOutcome::kPartial);
+  const std::string json = to_json(manifest);
+  const Manifest parsed = parse_manifest(json);
+  EXPECT_EQ(parsed.outcome, RunOutcome::kPartial);
+  ASSERT_EQ(parsed.cells.size(), 6u);
+  EXPECT_EQ(parsed.cells[4].status, CellStatus::kFailed);
+  ASSERT_EQ(parsed.cells[4].failures.size(), 1u);
+  EXPECT_EQ(parsed.cells[4].failures[0], manifest.cells[4].failures[0]);
+  EXPECT_EQ(to_json(parsed), json);  // byte-stable round trip
+}
+
+TEST(ManifestV2Test, V1DocumentsParseWithDefaults) {
+  // A v1 manifest (no outcome/status/failures keys) as written before the
+  // failure-semantics schema bump.
+  const std::string v1 =
+      "{\"schema\":\"gridtrust.lab.manifest/v1\",\"spec\":\"old\","
+      "\"title\":\"t\",\"spec_hash\":\"00\",\"git_rev\":\"unknown\","
+      "\"seed\":7,\"replications\":2,\"tolerance_pct\":1,\"cells\":[\n"
+      "{\"index\":0,\"params\":{\"alpha\":1},\"param_hash\":\"00\","
+      "\"replications\":2,\"metrics\":{\"value\":{\"mean\":1.5,\"ci95\":0.1,"
+      "\"n\":2}}}\n]}\n";
+  const Manifest parsed = parse_manifest(v1);
+  EXPECT_EQ(parsed.outcome, RunOutcome::kComplete);
+  ASSERT_EQ(parsed.cells.size(), 1u);
+  EXPECT_EQ(parsed.cells[0].status, CellStatus::kOk);
+  EXPECT_TRUE(parsed.cells[0].failures.empty());
+  // Re-serialization upgrades in place to v2.
+  EXPECT_NE(to_json(parsed).find("gridtrust.lab.manifest/v2"),
+            std::string::npos);
+  EXPECT_NE(to_json(parsed).find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ManifestV2Test, StatusMismatchIsACompareViolation) {
+  const Manifest base = run_sweep(tiny_spec()).manifest;
+  Manifest failed = base;
+  failed.cells[1].status = CellStatus::kFailed;
+  const CompareResult result = compare_manifests(failed, base);
+  EXPECT_FALSE(result.pass);
+  bool found = false;
+  for (const Violation& v : result.violations) {
+    if (v.what.find("status failed") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CacheTest, CorruptEntryIsEvictedAndCounted) {
+  const SweepSpec spec = tiny_spec();
+  EngineOptions options;
+  options.cache_dir = temp_dir("evict");
+  (void)run_sweep(spec, options);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.cache_dir)) {
+    std::FILE* f = std::fopen(entry.path().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{torn", f);
+    std::fclose(f);
+  }
+
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  const SweepRun rerun = run_sweep(spec, options);
+  const obs::Snapshot snap = registry.snapshot();
+  obs::install(nullptr);
+
+  EXPECT_EQ(rerun.cache_hits, 0u);
+  EXPECT_EQ(snap.counters.at("lab.cache_corrupt_evictions"), 6.0);
+  // Eviction deleted the corrupt files; the rerun then re-stored clean
+  // entries, so a third run hits everything.
+  EXPECT_EQ(run_sweep(spec, options).cache_hits, 6u);
+}
+
+TEST(AtomicWriteTest, TornWriterSimulationNeverExposesAPartialManifest) {
+  // Simulate the classic torn-write hazard: a stale temp file (from a
+  // crashed writer) next to the target must not corrupt a later atomic
+  // write, and the target transitions old-content → new-content with no
+  // intermediate state observable through the final path.
+  const std::string dir = temp_dir("atomic");
+  std::filesystem::create_directories(dir);
+  const std::string target = dir + "/manifest.json";
+  atomic_write_file(target, "old complete document\n");
+
+  {
+    std::ofstream stale(target + ".tmp.99999");
+    stale << "{torn garbage from a dead writer";
+  }
+  const Manifest manifest = run_sweep(tiny_spec()).manifest;
+  atomic_write_file(target, to_json(manifest));
+  // The read-back parses — no interleaving with the stale temp content.
+  EXPECT_EQ(to_json(parse_manifest(read_file(target))), to_json(manifest));
 }
 
 TEST(JsonInTest, ParsesScalarsContainersAndEscapes) {
