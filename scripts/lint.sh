@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Static-analysis driver: gt-lint, clang-format, clang-tidy.
+#
+#   scripts/lint.sh                 # lint every C++ file under src/
+#   scripts/lint.sh --changed       # only files changed vs origin/main
+#   scripts/lint.sh --changed HEAD~1
+#
+# Three prongs (docs/static-analysis.md has the full rule catalog):
+#   1. scripts/lint/gt_lint.py — determinism & concurrency rules
+#      GT001–GT005 (stdlib-only Python; always runs).
+#   2. clang-format --dry-run -Werror against the repo .clang-format.
+#   3. clang-tidy against the repo .clang-tidy via compile_commands.json
+#      (configures the release preset on demand to produce it).
+# Prongs 2 and 3 are skipped with a notice when the binaries are not
+# installed (the CI lint job installs them, so CI always runs all three).
+# Exit: non-zero if any prong that ran found a violation.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="all"
+base="origin/main"
+case "${1:-}" in
+  --changed)
+    mode="changed"
+    [ $# -ge 2 ] && base="$2"
+    ;;
+  "") ;;
+  *)
+    echo "usage: scripts/lint.sh [--changed [BASE]]" >&2
+    exit 2
+    ;;
+esac
+
+declare -a files=()
+if [ "$mode" = "changed" ]; then
+  # Fall back to HEAD when the base ref is unknown (shallow CI clones).
+  git rev-parse --verify --quiet "$base" >/dev/null || base="HEAD"
+  while IFS= read -r f; do
+    [ -f "$f" ] && files+=("$f")
+  done < <(git diff --name-only --diff-filter=ACMR "$base" -- \
+             'src/**/*.cpp' 'src/**/*.hpp' 'src/*.cpp' 'src/*.hpp')
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "lint: no C++ changes vs $base — nothing to do"
+    exit 0
+  fi
+  echo "lint: ${#files[@]} changed file(s) vs $base"
+fi
+
+status=0
+
+echo "== gt-lint =="
+if [ "$mode" = "changed" ]; then
+  python3 scripts/lint/gt_lint.py "${files[@]}" || status=1
+else
+  python3 scripts/lint/gt_lint.py || status=1
+fi
+
+echo "== clang-format =="
+if command -v clang-format >/dev/null 2>&1; then
+  if [ "$mode" = "all" ]; then
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+  fi
+  if ! clang-format --dry-run -Werror "${files[@]}"; then
+    echo "clang-format: FAIL (run clang-format -i on the files above)"
+    status=1
+  else
+    echo "clang-format: OK (${#files[@]} files)"
+  fi
+else
+  echo "clang-format: not installed — skipped"
+fi
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # clang-tidy needs a compilation database; the release preset exports
+  # one (CMAKE_EXPORT_COMPILE_COMMANDS is on project-wide).
+  if [ ! -f build/compile_commands.json ]; then
+    cmake --preset release >/dev/null
+  fi
+  declare -a tidy_files=()
+  if [ "$mode" = "changed" ]; then
+    for f in "${files[@]}"; do
+      case "$f" in *.cpp) tidy_files+=("$f") ;; esac
+    done
+  else
+    while IFS= read -r f; do tidy_files+=("$f"); done \
+      < <(find src -name '*.cpp' | sort)
+  fi
+  if [ "${#tidy_files[@]}" -eq 0 ]; then
+    echo "clang-tidy: no translation units to check"
+  elif command -v run-clang-tidy >/dev/null 2>&1 && [ "$mode" = "all" ]; then
+    run-clang-tidy -quiet -p build "^$(pwd)/src/" || status=1
+  else
+    clang-tidy -quiet -p build "${tidy_files[@]}" || status=1
+  fi
+else
+  echo "clang-tidy: not installed — skipped"
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: OK"
+else
+  echo "lint: FAIL" >&2
+fi
+exit "$status"

@@ -12,7 +12,8 @@ namespace {
 std::atomic<int> g_level{-1};  // -1 = uninitialized
 
 LogLevel level_from_env() {
-  const char* env = std::getenv("GRIDTRUST_LOG");
+  // Read once before any pool thread exists; mt-unsafety cannot bite.
+  const char* env = std::getenv("GRIDTRUST_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kOff;
   const std::string v(env);
   if (v == "debug") return LogLevel::kDebug;

@@ -15,6 +15,13 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t tag,
+                          const std::vector<std::size_t>& ids) {
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL ^ tag;
+  for (const std::size_t id : ids) seed = seed * 1099511628211ULL + id;
+  return seed;
+}
+
 Rng::Rng(std::uint64_t seed, std::uint64_t stream_id) : seed_(seed) {
   // PCG initialization: the increment encodes the stream and must be odd.
   std::uint64_t mix = seed;

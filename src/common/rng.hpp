@@ -15,6 +15,12 @@ namespace gridtrust {
 /// hash-mixing call sites reuse it.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Derives a deterministic seed from an identity tag plus a sequence of ids
+/// (e.g. a scheduler batch): golden-ratio offset, then FNV-prime chaining.
+/// Centralized here so call sites never hold raw seed constants (gt-lint
+/// GT003); the derivation is stable — recorded baselines depend on it.
+std::uint64_t derive_seed(std::uint64_t tag, const std::vector<std::size_t>& ids);
+
 /// A PCG32 (XSH-RR) pseudo-random generator with explicit streams.
 ///
 /// Satisfies std::uniform_random_bit_generator, so it can also drive

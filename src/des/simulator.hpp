@@ -129,6 +129,10 @@ class Simulator {
     std::uint64_t cancelled = 0;
   } published_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Determinism audit (gt-lint GT002): both unordered containers below are
+  // key-lookup/membership only and are never iterated, so hash order cannot
+  // influence event execution order or any exported output.  Keep it that
+  // way — iteration here would silently break manifest bit-identity.
   std::unordered_set<EventId> cancelled_;
   // Actions stored separately so heap entries stay trivially copyable.
   std::unordered_map<EventId, Pending> actions_;

@@ -91,6 +91,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
              "spec \"" + spec.name + "\" has no runner");
   GT_REQUIRE(options.retry.max_attempts >= 1,
              "retry policy needs at least one attempt");
+  // gt-lint: allow(GT001 wall_seconds is engine metadata, never exported)
   const auto t0 = std::chrono::steady_clock::now();
 
   const std::uint64_t seed = options.seed.value_or(spec.seed);
@@ -312,6 +313,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
           std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
         }
       }
+      // gt-lint: allow(GT001 unit deadlines measure real elapsed time)
       const auto attempt_start = std::chrono::steady_clock::now();
       try {
         obs::ScopedTimer timer(kUnitNs);
@@ -322,6 +324,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
         obs::RunReport report = spec.run(cell, rep_seed);
         if (options.unit_deadline_seconds > 0.0) {
           const double elapsed =
+              // gt-lint: allow(GT001 deadline check against wall time only)
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             attempt_start)
                   .count();
@@ -426,6 +429,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   }
 
   run.wall_seconds =
+      // gt-lint: allow(GT001 wall_seconds goes to the terminal, not manifest)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return run;

@@ -54,8 +54,10 @@ extern "C" void handle_signal(int) {
 }
 
 void install_signal_handlers() {
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
+  // Installed from main() before the pool spins up; the handler itself is
+  // async-signal-safe (single relaxed atomic store).
+  std::signal(SIGINT, handle_signal);   // NOLINT(concurrency-mt-unsafe)
+  std::signal(SIGTERM, handle_signal);  // NOLINT(concurrency-mt-unsafe)
 }
 
 int cmd_list() {

@@ -64,9 +64,7 @@ class Genetic final : public BatchHeuristic {
     };
 
     // Deterministic seed derived from the batch identity.
-    std::uint64_t seed = 0x9e3779b97f4a7c15ULL ^ n;
-    for (const std::size_t r : batch) seed = seed * 1099511628211ULL + r;
-    Rng rng(seed);
+    Rng rng(derive_seed(n, batch));
 
     GaParams params;
     const std::size_t pop_size = std::max<std::size_t>(params.population, 8);

@@ -100,8 +100,10 @@ RunResult timed_run(Workload workload, const char* policy, std::size_t scale,
   out.seconds = 0.0;
   for (std::size_t rep = 0; rep < repetitions; ++rep) {
     std::uint64_t checks = 0;
+    // gt-lint: allow(GT001 microbenchmark wall timing; checksums gate it)
     const auto begin = std::chrono::steady_clock::now();
     const std::uint64_t checksum = dispatch<Heap>(workload, scale, seed, checks);
+    // gt-lint: allow(GT001 microbenchmark wall timing, see above)
     const auto end = std::chrono::steady_clock::now();
     g_sink = checksum;
     const double secs = std::chrono::duration<double>(end - begin).count();

@@ -1,0 +1,10 @@
+// gt-lint-fixture: path=src/des/clocky_clean.cpp expect=none
+// GT001 clean: simulation code reads time from the DES kernel and
+// randomness from an explicitly seeded Rng.
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+
+double pure_simulation(gridtrust::des::Simulator& sim, gridtrust::Rng& rng) {
+  const double now = sim.now();
+  return now + rng.uniform();
+}

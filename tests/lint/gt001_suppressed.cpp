@@ -1,0 +1,10 @@
+// gt-lint-fixture: path=src/des/clocky_suppressed.cpp expect=none
+// GT001 suppressed: both allow forms (same-line and standalone-above).
+#include <chrono>
+
+double measured_overhead() {
+  // gt-lint: allow(GT001 profiling hook, never feeds simulation state)
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // gt-lint: allow(GT001 profiling hook)
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,14 @@
+// gt-lint-fixture: path=src/des/clocky.cpp expect=GT001:8,GT001:9,GT001:10,GT001:11
+// GT001: nondeterminism sources inside a simulation module.  Never
+// compiled — linted by gt_lint.py --self-test.
+#include <chrono>
+#include <cstdlib>
+
+double wall_time_leaks() {
+  const int noise = std::rand();
+  const auto wall = std::chrono::system_clock::now();
+  const auto mono = std::chrono::steady_clock::now();
+  const long stamp = time(nullptr);
+  return static_cast<double>(noise + stamp) +
+         std::chrono::duration<double>(mono - wall.time_since_epoch() + mono.time_since_epoch()).count();
+}

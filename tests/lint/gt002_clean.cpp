@@ -1,0 +1,17 @@
+// gt-lint-fixture: path=src/obs/leaky_clean.cpp expect=none
+// GT002 clean: ordered iteration at the export boundary; the unordered
+// container is used for membership only, never iterated.
+#include <map>
+#include <string>
+#include <unordered_set>
+
+std::string to_json(const std::map<std::string, double>& metrics,
+                    const std::unordered_set<std::string>& hidden) {
+  std::string out = "{";
+  for (const auto& [name, value] : metrics) {
+    if (hidden.count(name) != 0) continue;
+    out += "\"" + name + "\":" + std::to_string(value) + ",";
+  }
+  out += "}";
+  return out;
+}

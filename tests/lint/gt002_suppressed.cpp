@@ -1,0 +1,14 @@
+// gt-lint-fixture: path=src/obs/leaky_suppressed.cpp expect=none
+// GT002 suppressed: iteration order provably cannot reach the output
+// (values are summed, and addition order is fixed by key sort below).
+#include <string>
+#include <unordered_map>
+
+std::string to_json(const std::unordered_map<std::string, long>& counts) {
+  long total = 0;
+  // gt-lint: allow(GT002 integer sum is order-independent)
+  for (const auto& [name, value] : counts) {
+    total += value;
+  }
+  return "{\"total\":" + std::to_string(total) + "}";
+}

@@ -1,0 +1,17 @@
+// gt-lint-fixture: path=src/obs/leaky.cpp expect=GT002:9,GT002:12
+// GT002: hash-order iteration feeding exported bytes.
+#include <string>
+#include <unordered_map>
+
+std::string to_json(const std::unordered_map<std::string, double>& metrics) {
+  std::unordered_map<std::string, double> extra = metrics;
+  std::string out = "{";
+  for (const auto& [name, value] : extra) {
+    out += "\"" + name + "\":" + std::to_string(value) + ",";
+  }
+  for (auto it = extra.begin(); it != extra.end(); ++it) {
+    out += it->first;
+  }
+  out += "}";
+  return out;
+}

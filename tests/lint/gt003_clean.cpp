@@ -1,0 +1,13 @@
+// gt-lint-fixture: path=src/sim/seedy_clean.cpp expect=none
+// GT003 clean: seeds arrive as explicit arguments and sub-streams are
+// derived through the sanctioned helpers.
+#include <vector>
+
+#include "common/rng.hpp"
+
+double replicate(std::uint64_t seed, const std::vector<std::size_t>& batch) {
+  gridtrust::Rng parent(seed);
+  gridtrust::Rng child = parent.stream(7);
+  gridtrust::Rng batch_rng(gridtrust::derive_seed(seed, batch));
+  return child.uniform() + batch_rng.uniform();
+}

@@ -1,0 +1,13 @@
+// gt-lint-fixture: path=src/sim/seedy.cpp expect=GT003:9,GT003:10,GT003:11
+// GT003: raw standard-library engines and naked seed literals.
+#include <cstdlib>
+#include <random>
+
+#include "common/rng.hpp"
+
+unsigned roll() {
+  std::mt19937 gen(12345);
+  srand(42);
+  gridtrust::Rng rng(0x9e3779b97f4a7c15ULL);
+  return gen() + static_cast<unsigned>(rng());
+}

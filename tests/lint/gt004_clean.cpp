@@ -1,0 +1,9 @@
+// gt-lint-fixture: path=src/net/thready_clean.cpp expect=none
+// GT004 clean: concurrency rides the shared pool.
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+
+void fan_out(std::size_t n) {
+  gridtrust::ThreadPool::shared().parallel_for(n, [](std::size_t) {});
+}

@@ -1,0 +1,9 @@
+// gt-lint-fixture: path=src/net/thready_suppressed.cpp expect=none
+// GT004 suppressed: a signal-handling watchdog that must outlive the pool.
+#include <thread>
+
+void watchdog(void (*poll)()) {
+  // gt-lint: allow(GT004 signal watchdog cannot run on pool workers)
+  std::thread t(poll);
+  t.join();
+}

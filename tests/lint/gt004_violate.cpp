@@ -1,0 +1,11 @@
+// gt-lint-fixture: path=src/net/thready.cpp expect=GT004:7,GT004:8,GT004:9
+// GT004: naked thread primitives outside common/thread_pool.
+#include <future>
+#include <thread>
+
+void fan_out(void (*work)()) {
+  std::thread worker(work);
+  worker.detach();
+  auto task = std::async(std::launch::async, work);
+  task.get();
+}

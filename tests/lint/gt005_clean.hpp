@@ -1,0 +1,11 @@
+// gt-lint-fixture: path=src/grid/tidy.hpp expect=none
+// GT005 clean: pragma once, repo-rooted quoted includes, standard headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "grid/domain.hpp"
+
+inline int tidy() { return 0; }

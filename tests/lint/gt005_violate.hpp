@@ -1,0 +1,10 @@
+// gt-lint-fixture: path=src/grid/messy.hpp expect=GT005:1,GT005:4,GT005:5,GT005:6,GT005:7,GT005:8
+// GT005: include hygiene — missing #pragma once (reported at line 1),
+// relative/../ includes, bare quoted includes, libstdc++ internals,
+#include "../common/rng.hpp"
+#include "rng.hpp"
+#include <bits/stdc++.h>
+#include <time.h>
+#include <common/rng.hpp>
+
+inline int messy() { return 0; }

@@ -203,6 +203,31 @@ TEST(Export, CsvRoundTrip) {
   EXPECT_DOUBLE_EQ(h.max, 50.0);
 }
 
+TEST(Export, ShuffledInsertionOrderIsByteIdentical) {
+  // Determinism gate (gt-lint GT002 companion): the export boundary must
+  // not depend on the order metrics were touched.  Two registries fed the
+  // same values in reversed orders must serialize to identical bytes.
+  std::string first_json, first_csv;
+  {
+    ScopedRegistry registry;
+    Counter("order.alpha").add(1.0);
+    Counter("order.beta").add(2.0);
+    Gauge("order.gamma").set(3.0);
+    Histogram("order.delta", {1.0, 10.0}).observe(4.0);
+    first_json = to_json(registry->snapshot());
+    first_csv = to_csv(registry->snapshot());
+  }
+  {
+    ScopedRegistry registry;
+    Histogram("order.delta", {1.0, 10.0}).observe(4.0);
+    Gauge("order.gamma").set(3.0);
+    Counter("order.beta").add(2.0);
+    Counter("order.alpha").add(1.0);
+    EXPECT_EQ(to_json(registry->snapshot()), first_json);
+    EXPECT_EQ(to_csv(registry->snapshot()), first_csv);
+  }
+}
+
 TEST(Report, ScalarAndSeriesRoundTrip) {
   RunReport report;
   report.set("makespan", 123.5);

@@ -324,7 +324,22 @@ TEST(Harness, MeasureOverheadsChecksumsMatchEverywhere) {
   }
 }
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GRIDTRUST_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GRIDTRUST_UNDER_SANITIZER 1
+#endif
+
 TEST(Harness, SandboxingIsNotFree) {
+#ifdef GRIDTRUST_UNDER_SANITIZER
+  // Sanitizer instrumentation distorts the relative cost of the bounds
+  // checks this test measures; the ratio assertion below flakes under it.
+  // Checksum correctness still runs in the tests above.
+  GTEST_SKIP() << "relative wall-time assertion is noise under sanitizers";
+#endif
   // Loose, machine-independent assertion: summed over the two memory-bound
   // workloads, each sandbox must cost something.
   const auto rows = measure_overheads(1, 3, 3);
