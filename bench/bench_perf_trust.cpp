@@ -1,37 +1,49 @@
-// Microbenchmarks (google-benchmark): trust-engine operation costs —
-// transaction folding, Γ evaluation, reputation aggregation, and the
-// trust-cost matrix construction the scheduler performs per meta-request.
+// Microbenchmarks (google-benchmark): reputation-backend operation costs —
+// transaction folding, trust evaluation across every registered backend,
+// and the trust-cost matrix construction the scheduler performs per
+// meta-request.  Backends are constructed through the registry, so the
+// numbers measure exactly what campaign code pays.
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
 
 #include "common/rng.hpp"
 #include "sched/problem.hpp"
-#include "trust/trust_engine.hpp"
+#include "trust/reputation_registry.hpp"
 #include "workload/request_gen.hpp"
 
 namespace {
 
 using namespace gridtrust;
 
-trust::TrustEngine seeded_engine(std::size_t entities, std::size_t contexts,
-                                 std::size_t transactions) {
-  trust::TrustEngine engine({}, entities, contexts);
+std::unique_ptr<trust::ReputationPolicy> seeded_policy(
+    const std::string& backend, std::size_t entities, std::size_t contexts,
+    std::size_t transactions) {
+  trust::ReputationParams params;
+  params.entities = entities;
+  params.contexts = contexts;
+  auto policy = trust::make_reputation_policy(backend, params);
   Rng rng(7);
   for (std::size_t i = 0; i < transactions; ++i) {
     const auto a = static_cast<trust::EntityId>(rng.index(entities));
     auto b = static_cast<trust::EntityId>(rng.index(entities));
     if (a == b) b = static_cast<trust::EntityId>((b + 1) % entities);
-    engine.record_transaction({a, b,
-                               static_cast<trust::ContextId>(
-                                   rng.index(contexts)),
-                               static_cast<double>(i),
-                               rng.uniform(1.0, 6.0)});
+    policy->record_transaction({a, b,
+                                static_cast<trust::ContextId>(
+                                    rng.index(contexts)),
+                                static_cast<double>(i),
+                                rng.uniform(1.0, 6.0)});
   }
-  return engine;
+  return policy;
 }
 
-void BM_RecordTransaction(benchmark::State& state) {
+void BM_RecordTransaction(benchmark::State& state, const std::string& backend) {
   const auto entities = static_cast<std::size_t>(state.range(0));
-  trust::TrustEngine engine({}, entities, 4);
+  trust::ReputationParams params;
+  params.entities = entities;
+  params.contexts = 4;
+  const auto policy = trust::make_reputation_policy(backend, params);
   Rng rng(3);
   double t = 0.0;
   for (auto _ : state) {
@@ -39,21 +51,21 @@ void BM_RecordTransaction(benchmark::State& state) {
     auto b = static_cast<trust::EntityId>(rng.index(entities));
     if (a == b) b = static_cast<trust::EntityId>((b + 1) % entities);
     t += 1.0;
-    engine.record_transaction({a, b, 0, t, 3.0});
+    policy->record_transaction({a, b, 0, t, 3.0});
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
-void BM_EventualTrust(benchmark::State& state) {
+void BM_Evaluate(benchmark::State& state, const std::string& backend) {
   const auto entities = static_cast<std::size_t>(state.range(0));
-  const auto engine = seeded_engine(entities, 4, entities * 50);
+  const auto policy = seeded_policy(backend, entities, 4, entities * 50);
   Rng rng(9);
   const double now = static_cast<double>(entities * 50);
   for (auto _ : state) {
     const auto a = static_cast<trust::EntityId>(rng.index(entities));
     auto b = static_cast<trust::EntityId>(rng.index(entities));
     if (a == b) b = static_cast<trust::EntityId>((b + 1) % entities);
-    benchmark::DoNotOptimize(engine.eventual_trust(a, b, 0, now));
+    benchmark::DoNotOptimize(policy->evaluate(a, b, 0, now));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -78,8 +90,12 @@ void BM_TrustCostMatrix(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_RecordTransaction)->Arg(16)->Arg(128);
-BENCHMARK(BM_EventualTrust)->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_RecordTransaction, gamma, "gamma")->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_RecordTransaction, beta, "beta")->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_Evaluate, gamma, "gamma")->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_Evaluate, beta, "beta")->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_Evaluate, fuzzy, "fuzzy")->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_Evaluate, purge_gamma, "purge:gamma")->Arg(16)->Arg(128);
 BENCHMARK(BM_TrustCostMatrix)->Arg(100)->Arg(1000);
 
 BENCHMARK_MAIN();

@@ -10,8 +10,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "trust/beta_reputation.hpp"
-#include "trust/trust_engine.hpp"
+#include "trust/reputation_registry.hpp"
 
 namespace {
 
@@ -22,9 +21,11 @@ using trust::EntityId;
 /// random transactions against fixed ground-truth conduct.
 double convergence_error(std::size_t entities, std::size_t interactions,
                          double noise, Rng& rng) {
-  trust::TrustEngineConfig cfg;
-  cfg.learning_rate = 0.2;
-  trust::TrustEngine engine(cfg, entities, 1);
+  trust::ReputationParams params;
+  params.entities = entities;
+  params.contexts = 1;
+  params.gamma.learning_rate = 0.2;
+  const auto policy = trust::make_reputation_policy("gamma", params);
   std::vector<double> truth(entities);
   for (double& t : truth) t = rng.uniform(1.0, 6.0);
   for (std::size_t i = 0; i < interactions; ++i) {
@@ -33,15 +34,15 @@ double convergence_error(std::size_t entities, std::size_t interactions,
     if (a == b) b = static_cast<EntityId>((b + 1) % entities);
     const double observed =
         std::clamp(truth[b] + rng.normal(0.0, noise), 1.0, 6.0);
-    engine.record_transaction(
+    policy->record_transaction(
         {a, b, 0, static_cast<double>(i), observed});
   }
   RunningStats err;
   for (EntityId x = 0; x < entities; ++x) {
     for (EntityId y = 0; y < entities; ++y) {
       if (x == y) continue;
-      err.add(std::abs(engine.eventual_trust(x, y, 0,
-                                             static_cast<double>(interactions)) -
+      err.add(std::abs(policy->evaluate(x, y, 0,
+                                        static_cast<double>(interactions)) -
                        truth[y]));
     }
   }
@@ -55,33 +56,36 @@ std::tuple<double, double, double> collusion_experiment(
     std::size_t colluders, std::size_t honest) {
   const std::size_t entities = 2 + colluders + honest;  // evaluator + target
   const EntityId target = 1;
+  trust::ReputationParams params;
+  params.entities = entities;
+  params.contexts = 1;
   auto run = [&](double discount) {
-    trust::TrustEngineConfig cfg;
-    cfg.alliance_discount = discount;
-    trust::TrustEngine engine(cfg, entities, 1);
+    params.gamma.alliance_discount = discount;
+    const auto policy = trust::make_reputation_policy("gamma", params);
     EntityId next = 2;
     for (std::size_t c = 0; c < colluders; ++c, ++next) {
-      engine.alliances().ally(next, target);
-      engine.record_transaction({next, target, 0, 0.0, 6.0});
+      policy->alliance_graph()->ally(next, target);
+      policy->record_transaction({next, target, 0, 0.0, 6.0});
     }
     for (std::size_t h = 0; h < honest; ++h, ++next) {
-      engine.record_transaction({next, target, 0, 0.0, 1.5});
+      policy->record_transaction({next, target, 0, 0.0, 1.5});
     }
-    return engine.reputation(0, target, 0, 1.0).value_or(0.0);
+    return policy->reputation_component(0, target, 0, 1.0).value_or(0.0);
   };
   // The pooled-evidence Beta baseline has no recommender weighting at all.
-  trust::BetaReputationEngine beta({}, entities, 1);
+  params.gamma = trust::TrustEngineConfig{};
+  const auto beta = trust::make_reputation_policy("beta", params);
   double clock = 0.0;
   EntityId next = 2;
   for (std::size_t c = 0; c < colluders; ++c, ++next) {
     clock += 1.0;
-    beta.record_transaction({next, target, 0, clock, 6.0});
+    beta->record_transaction({next, target, 0, clock, 6.0});
   }
   for (std::size_t h = 0; h < honest; ++h, ++next) {
     clock += 1.0;
-    beta.record_transaction({next, target, 0, clock, 1.5});
+    beta->record_transaction({next, target, 0, clock, 1.5});
   }
-  return {run(0.1), run(1.0), beta.reputation_score(target, 0, clock)};
+  return {run(0.1), run(1.0), beta->evaluate(0, target, 0, clock)};
 }
 
 }  // namespace

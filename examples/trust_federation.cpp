@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "trust/agents.hpp"
+#include "trust/reputation_registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace gridtrust;
@@ -28,16 +29,21 @@ int main(int argc, char** argv) {
   //   rd0 exemplary (5.8), rd1 mediocre (3.2), rd2 hostile (1.3).
   const double conduct[3] = {5.8, 3.2, 1.3};
 
-  trust::TrustEngineConfig cfg;
-  cfg.alpha = 0.6;
-  cfg.beta = 0.4;
-  cfg.learning_rate = 0.25;
-  cfg.learn_recommender_weights = true;
-  cfg.decay = trust::make_exponential_decay(500.0);
-  trust::DomainTrustBridge bridge(cfg, 4, 3, 1, /*min_transactions=*/3);
+  trust::ReputationParams params;
+  params.entities = 4 + 3;
+  params.contexts = 1;
+  params.gamma.alpha = 0.6;
+  params.gamma.beta = 0.4;
+  params.gamma.learning_rate = 0.25;
+  params.gamma.learn_recommender_weights = true;
+  params.gamma.decay = trust::make_exponential_decay(500.0);
+  trust::DomainTrustBridge bridge(
+      trust::make_reputation_policy("gamma", params), 4, 3, 1,
+      /*min_transactions=*/3);
 
   // Client domain 3 is in an alliance with hostile rd2 and will praise it.
-  bridge.engine().alliances().ally(bridge.cd_entity(3), bridge.rd_entity(2));
+  bridge.policy().alliance_graph()->ally(bridge.cd_entity(3),
+                                         bridge.rd_entity(2));
 
   trust::TrustLevelTable table(4, 3, 1);
   const int rounds = static_cast<int>(cli.get_int("rounds"));
@@ -84,6 +90,6 @@ int main(int argc, char** argv) {
             << "(the alliance discount plus learned reliability keep the "
                "colluder from whitewashing rd2's row)\n"
             << "transactions folded into the engine: "
-            << bridge.engine().transaction_count() << "\n";
+            << bridge.policy().transaction_count() << "\n";
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "sched/problem.hpp"
 #include "trust/agents.hpp"
+#include "trust/reputation_registry.hpp"
 #include "workload/heterogeneity.hpp"
 #include "workload/request_gen.hpp"
 
@@ -62,6 +63,10 @@ obs::RunReport CampaignResult::report() const {
   out.set("steady_misclassification", steady_misclassification);
   out.set_count("transactions", transactions);
   counters.to_report(out);
+  const std::string prefix = "trust." + reputation_backend + ".";
+  for (const auto& [name, value] : backend_counters) {
+    out.set_count(prefix + name, value);
+  }
   return out;
 }
 
@@ -112,13 +117,18 @@ CampaignResult run_campaign(const sim::Scenario& scenario,
       }
     }
   }
-  trust::DomainTrustBridge bridge(config.engine, n_cd, n_rd, n_act,
-                                  config.min_transactions);
+  trust::DomainTrustBridge bridge(
+      trust::make_reputation_policy(scenario.reputation, config.engine,
+                                    n_cd + n_rd, n_act),
+      n_cd, n_rd, n_act, config.min_transactions);
   // Register collusive alliances so the recommender factor R can discount
-  // ballot-stuffed recommendations (§2.2's collusion defence).
-  for (const auto& [cd, rd] : behavior.collusive_pairs()) {
-    bridge.engine().alliances().ally(bridge.cd_entity(cd),
-                                     bridge.rd_entity(rd));
+  // ballot-stuffed recommendations (§2.2's collusion defence).  Backends
+  // without an alliance notion (beta, fuzzy) face the same forged stream
+  // with no structural hint — exactly the handicap the tournament measures.
+  if (trust::AllianceGraph* alliances = bridge.policy().alliance_graph()) {
+    for (const auto& [cd, rd] : behavior.collusive_pairs()) {
+      alliances->ally(bridge.cd_entity(cd), bridge.rd_entity(rd));
+    }
   }
 
   FaultInjector injector(scenario.chaos.faults, n_machines);
@@ -251,7 +261,7 @@ CampaignResult run_campaign(const sim::Scenario& scenario,
       if (!behavior.should_whitewash(rd, mean_table_level(table, rd))) {
         continue;
       }
-      bridge.engine().forget(bridge.rd_entity(rd));
+      bridge.policy().forget(bridge.rd_entity(rd));
       for (std::size_t cd = 0; cd < n_cd; ++cd) {
         for (std::size_t act = 0; act < n_act; ++act) {
           table.set(cd, rd, act, config.initial_level);
@@ -309,7 +319,9 @@ CampaignResult run_campaign(const sim::Scenario& scenario,
   result.steady_misclassification = mis_sum / steady_n;
 
   result.final_table = table;
-  result.transactions = bridge.engine().transaction_count();
+  result.transactions = bridge.policy().transaction_count();
+  result.reputation_backend = bridge.policy().name();
+  result.backend_counters = bridge.policy().counters();
   return result;
 }
 

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "chaos/config.hpp"
@@ -83,10 +85,16 @@ struct CampaignResult {
   double steady_misclassification = 0.0;
   trust::TrustLevelTable final_table{1, 1, 1};
   std::uint64_t transactions = 0;
+  /// Which reputation backend formed trust (the scenario's selection).
+  std::string reputation_backend = "gamma";
+  /// The backend's own counters (gamma_evals, purged_recommendations,
+  /// rule_firings, ...) snapshotted at campaign end.
+  std::vector<std::pair<std::string, std::uint64_t>> backend_counters;
 
   /// Scalars as a uniform obs::RunReport: rounds, detection_latency_rounds,
   /// steady_true_trust_cost, steady_makespan, steady_misclassification,
-  /// transactions, plus the chaos.* counters.
+  /// transactions, the chaos.* counters, plus one
+  /// `trust.<backend>.<counter>` entry per backend counter.
   obs::RunReport report() const;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "chaos/campaign.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "sched/problem.hpp"
 #include "sim/experiment.hpp"
@@ -215,6 +216,118 @@ SweepSpec batch_interval_spec() {
   return spec;
 }
 
+/// The tournament's adversary campaigns, keyed by axis value.  Each maps a
+/// named attack onto the BehaviorEngine strategies of chaos/behavior.hpp.
+std::vector<chaos::AdversarySpec> tournament_adversaries(
+    const std::string& attack) {
+  std::vector<chaos::AdversarySpec> out;
+  const auto rd_adversary = [&](std::size_t rd, chaos::BehaviorKind kind) {
+    chaos::AdversarySpec spec;
+    spec.side = chaos::AdversarySide::kResourceDomain;
+    spec.domain = rd;
+    spec.kind = kind;
+    out.push_back(spec);
+  };
+  if (attack == "ballot_stuffing") {
+    // Two collusive RDs plus an allied collusive CD that ballot-stuffs
+    // them (6.0) and badmouths every outsider through the report channel.
+    rd_adversary(0, chaos::BehaviorKind::kCollusive);
+    rd_adversary(1, chaos::BehaviorKind::kCollusive);
+    chaos::AdversarySpec cd;
+    cd.side = chaos::AdversarySide::kClientDomain;
+    cd.domain = 0;
+    cd.kind = chaos::BehaviorKind::kCollusive;
+    out.push_back(cd);
+  } else if (attack == "badmouthing") {
+    // A lone collusive CD with no allied RD: every report it files is a
+    // 1.0 badmouth of an honest resource domain.
+    chaos::AdversarySpec cd;
+    cd.side = chaos::AdversarySide::kClientDomain;
+    cd.domain = 0;
+    cd.kind = chaos::BehaviorKind::kCollusive;
+    out.push_back(cd);
+  } else if (attack == "oscillating") {
+    rd_adversary(0, chaos::BehaviorKind::kOscillating);
+    rd_adversary(1, chaos::BehaviorKind::kOscillating);
+  } else if (attack == "whitewashing") {
+    rd_adversary(0, chaos::BehaviorKind::kWhitewashing);
+    rd_adversary(1, chaos::BehaviorKind::kWhitewashing);
+  } else {
+    GT_REQUIRE(false, "unknown tournament adversary: " + attack);
+  }
+  return out;
+}
+
+/// One tournament campaign: fixed topology, the named backend forming
+/// trust, the named attack running against it.
+obs::RunReport tournament_campaign(const std::string& backend,
+                                   const std::string& attack,
+                                   std::size_t rounds,
+                                   std::size_t tasks_per_round,
+                                   std::uint64_t rep_seed) {
+  const std::size_t n_rd = 6;  // one machine per RD
+  sim::ScenarioBuilder builder;
+  builder.machines(n_rd)
+      .resource_domains(n_rd, n_rd)
+      .client_domains(3, 3)
+      .heuristic("mct")
+      .inconsistent()
+      .with_reputation_backend(backend)
+      .with_adversaries(tournament_adversaries(attack));
+  chaos::CampaignRunConfig config;
+  config.rounds = rounds;
+  config.tasks_per_round = tasks_per_round;
+  return chaos::run_campaign(builder.build(), config, rep_seed).report();
+}
+
+SweepSpec backend_tournament_spec() {
+  SweepSpec spec;
+  spec.name = "backend_tournament";
+  spec.title = "Reputation backends vs adversary campaigns";
+  spec.paper_ref = "backend catalog and leaderboard "
+                   "(docs/reputation-backends.md)";
+  spec.expected = "gamma resists ballot-stuffing via R; purge:gamma "
+                  "additionally blunts badmouthing; no backend beats "
+                  "whitewashing without a registration cost";
+  spec.axes = {{"backend", {"gamma", "beta", "fuzzy", "purge:gamma"}},
+               {"adversary", {"ballot_stuffing", "badmouthing", "oscillating",
+                              "whitewashing"}}};
+  spec.replications = 3;  // independent campaigns averaged per cell
+  spec.tolerance_pct = 2.0;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    return tournament_campaign(cell.text("backend"), cell.text("adversary"),
+                               /*rounds=*/12, /*tasks_per_round=*/40,
+                               rep_seed);
+  };
+  spec.display_metrics = {"detection_latency_rounds",
+                          "steady_misclassification",
+                          "steady_true_trust_cost"};
+  return spec;
+}
+
+SweepSpec smoke_backends_spec() {
+  SweepSpec spec;
+  spec.name = "smoke_backends";
+  spec.title = "CI smoke sweep: two backends vs one adversary";
+  spec.paper_ref = "backend_tournament, shrunk for CI "
+                   "(baselines/smoke_backends.json)";
+  spec.expected = "both backends run the badmouthing campaign; gated "
+                  "against the committed baseline";
+  spec.axes = {{"backend", {"gamma", "purge:gamma"}},
+               {"adversary", {"badmouthing"}}};
+  spec.replications = 2;
+  spec.tolerance_pct = 2.5;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    return tournament_campaign(cell.text("backend"), cell.text("adversary"),
+                               /*rounds=*/8, /*tasks_per_round=*/20,
+                               rep_seed);
+  };
+  spec.display_metrics = {"detection_latency_rounds",
+                          "steady_misclassification",
+                          "steady_true_trust_cost"};
+  return spec;
+}
+
 SweepSpec smoke_spec() {
   SweepSpec spec;
   spec.name = "smoke";
@@ -257,10 +370,12 @@ std::vector<SweepSpec> build_catalog() {
   specs.push_back(paper_table_spec("9", "sufferage", true, true,
                                    "32.67% / 33.19%"));
   specs.push_back(chaos_robustness_spec());
+  specs.push_back(backend_tournament_spec());
   specs.push_back(pricing_ablation_spec(/*sweep_weight=*/true));
   specs.push_back(pricing_ablation_spec(/*sweep_weight=*/false));
   specs.push_back(batch_interval_spec());
   specs.push_back(smoke_spec());
+  specs.push_back(smoke_backends_spec());
   return specs;
 }
 

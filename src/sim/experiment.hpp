@@ -19,6 +19,7 @@
 #include "grid/grid_system.hpp"
 #include "obs/report.hpp"
 #include "sim/trm_simulation.hpp"
+#include "trust/reputation_policy.hpp"
 #include "workload/heterogeneity.hpp"
 #include "workload/request_gen.hpp"
 
@@ -47,6 +48,11 @@ struct Scenario {
   /// each drawn instance's EEC matrix; adversary behaviour only matters to
   /// the closed-loop campaign driver (chaos::run_campaign).
   chaos::CampaignConfig chaos;
+  /// Reputation backend forming trust in closed-loop campaigns (default:
+  /// "gamma", the paper's Γ engine — scenarios that never name a backend
+  /// behave exactly as before).  The static experiment path draws its trust
+  /// table directly and ignores this field.
+  trust::ReputationBackendConfig reputation;
 
   Scenario() { requests.arrival_rate = 1.0; }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "trust/reputation_registry.hpp"
 #include "workload/heterogeneity.hpp"
 
 namespace gridtrust::sim {
@@ -126,6 +127,13 @@ ScenarioBuilder& ScenarioBuilder::with_campaign(chaos::CampaignConfig config) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::with_reputation_backend(
+    std::string name, std::map<std::string, double> params) {
+  scenario_.reputation.name = std::move(name);
+  scenario_.reputation.params = std::move(params);
+  return *this;
+}
+
 Scenario ScenarioBuilder::build() const {
   const Scenario& s = scenario_;
   GT_REQUIRE(s.tasks >= 1, "tasks: need at least one request");
@@ -160,6 +168,8 @@ Scenario ScenarioBuilder::build() const {
   // checked against the drawn grid by the consumers (BehaviorEngine,
   // FaultInjector, run_campaign).
   s.chaos.validate();
+  GT_REQUIRE(trust::reputation_backend_exists(s.reputation.name),
+             "reputation: unknown backend '" + s.reputation.name + "'");
   return scenario_;
 }
 

@@ -16,6 +16,7 @@
 //                               .build();
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "sim/experiment.hpp"
@@ -82,6 +83,14 @@ class ScenarioBuilder {
   /// Replaces the whole chaos campaign config (adversaries + faults +
   /// crash penalty) in one call.
   ScenarioBuilder& with_campaign(chaos::CampaignConfig config);
+
+  /// Selects the reputation backend forming trust in closed-loop campaigns
+  /// ("gamma", "beta", "fuzzy", "purge:<base>"; see
+  /// trust/reputation_registry.hpp).  `params` are backend tuning overrides
+  /// such as {"purge.deviation_threshold", 2.0}.  The name is validated at
+  /// build() time; unknown parameter keys fail at policy construction.
+  ScenarioBuilder& with_reputation_backend(
+      std::string name, std::map<std::string, double> params = {});
 
   /// Validates the accumulated configuration and returns the Scenario.
   /// Throws gridtrust::PreconditionError with a field-naming message on any

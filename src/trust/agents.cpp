@@ -1,10 +1,11 @@
 #include "trust/agents.hpp"
 
 #include "common/error.hpp"
+#include "trust/gamma_policy.hpp"
 
 namespace gridtrust::trust {
 
-DomainTrustBridge::DomainTrustBridge(TrustEngineConfig config,
+DomainTrustBridge::DomainTrustBridge(std::unique_ptr<ReputationPolicy> policy,
                                      std::size_t client_domains,
                                      std::size_t resource_domains,
                                      std::size_t activities,
@@ -13,11 +14,26 @@ DomainTrustBridge::DomainTrustBridge(TrustEngineConfig config,
       n_rd_(resource_domains),
       n_act_(activities),
       min_transactions_(min_transactions),
-      engine_(std::move(config), client_domains + resource_domains,
-              activities) {
+      policy_(std::move(policy)) {
+  GT_REQUIRE(policy_ != nullptr, "bridge needs a reputation policy");
   GT_REQUIRE(min_transactions >= 1,
              "table updates need at least one observation");
+  GT_REQUIRE(policy_->entity_count() == client_domains + resource_domains,
+             "policy entity count must cover every CD and RD");
+  GT_REQUIRE(policy_->context_count() == activities,
+             "policy context count must match the activity count");
 }
+
+DomainTrustBridge::DomainTrustBridge(TrustEngineConfig config,
+                                     std::size_t client_domains,
+                                     std::size_t resource_domains,
+                                     std::size_t activities,
+                                     std::uint64_t min_transactions)
+    : DomainTrustBridge(
+          std::make_unique<GammaReputationPolicy>(
+              std::move(config), client_domains + resource_domains,
+              activities),
+          client_domains, resource_domains, activities, min_transactions) {}
 
 EntityId DomainTrustBridge::cd_entity(std::size_t cd) const {
   GT_REQUIRE(cd < n_cd_, "client domain index out of range");
@@ -33,7 +49,7 @@ void DomainTrustBridge::observe_client_side(std::size_t cd, std::size_t rd,
                                             std::size_t activity, double time,
                                             double score) {
   GT_REQUIRE(activity < n_act_, "activity index out of range");
-  engine_.record_transaction(Transaction{
+  policy_->record_recommendation(Recommendation{
       cd_entity(cd), rd_entity(rd), static_cast<ContextId>(activity), time,
       score});
 }
@@ -42,7 +58,7 @@ void DomainTrustBridge::observe_resource_side(std::size_t rd, std::size_t cd,
                                               std::size_t activity,
                                               double time, double score) {
   GT_REQUIRE(activity < n_act_, "activity index out of range");
-  engine_.record_transaction(Transaction{
+  policy_->record_recommendation(Recommendation{
       rd_entity(rd), cd_entity(cd), static_cast<ContextId>(activity), time,
       score});
 }
@@ -58,15 +74,14 @@ std::size_t DomainTrustBridge::refresh(TrustLevelTable& table,
     for (std::size_t rd = 0; rd < n_rd_; ++rd) {
       for (std::size_t act = 0; act < n_act_; ++act) {
         const auto ctx = static_cast<ContextId>(act);
-        const auto fwd = engine_.direct_record(cd_entity(cd), rd_entity(rd), ctx);
-        const auto rev = engine_.direct_record(rd_entity(rd), cd_entity(cd), ctx);
         const std::uint64_t observations =
-            (fwd ? fwd->count : 0) + (rev ? rev->count : 0);
+            policy_->observation_count(cd_entity(cd), rd_entity(rd), ctx) +
+            policy_->observation_count(rd_entity(rd), cd_entity(cd), ctx);
         if (observations < min_transactions_) continue;
-        const TrustLevel forward = engine_.eventual_offered_level(
-            cd_entity(cd), rd_entity(rd), ctx, now);
-        const TrustLevel reverse = engine_.eventual_offered_level(
-            rd_entity(rd), cd_entity(cd), ctx, now);
+        const TrustLevel forward =
+            policy_->offered_level(cd_entity(cd), rd_entity(rd), ctx, now);
+        const TrustLevel reverse =
+            policy_->offered_level(rd_entity(rd), cd_entity(cd), ctx, now);
         const TrustLevel symmetric = min_level(forward, reverse);
         if (table.get(cd, rd, act) != symmetric) {
           table.set(cd, rd, act, symmetric);
@@ -76,6 +91,22 @@ std::size_t DomainTrustBridge::refresh(TrustLevelTable& table,
     }
   }
   return updated;
+}
+
+TrustEngine& DomainTrustBridge::engine() {
+  auto* gamma = dynamic_cast<GammaReputationPolicy*>(policy_.get());
+  GT_REQUIRE(gamma != nullptr,
+             "engine() requires the gamma backend; this bridge runs \"" +
+                 policy_->name() + "\"");
+  return gamma->engine();
+}
+
+const TrustEngine& DomainTrustBridge::engine() const {
+  const auto* gamma = dynamic_cast<const GammaReputationPolicy*>(policy_.get());
+  GT_REQUIRE(gamma != nullptr,
+             "engine() requires the gamma backend; this bridge runs \"" +
+                 policy_->name() + "\"");
+  return gamma->engine();
 }
 
 }  // namespace gridtrust::trust

@@ -1,0 +1,68 @@
+#include "trust/beta_policy.hpp"
+
+namespace gridtrust::trust {
+
+BetaReputationPolicy::BetaReputationPolicy(BetaReputationConfig config,
+                                           std::size_t entities,
+                                           std::size_t contexts)
+    : engine_(config, entities, contexts) {}
+
+const std::string& BetaReputationPolicy::name() const {
+  static const std::string kName = "beta";
+  return kName;
+}
+
+void BetaReputationPolicy::record_transaction(const Transaction& tx) {
+  engine_.record_transaction(tx);
+  ++stream_counts_[StreamKey{tx.truster, tx.trustee, tx.context}];
+}
+
+double BetaReputationPolicy::evaluate(EntityId truster, EntityId trustee,
+                                      ContextId context, double now) const {
+  (void)truster;  // the pooled opinion is evaluator-independent
+  ++evaluations_;
+  return engine_.reputation_score(trustee, context, now);
+}
+
+std::optional<double> BetaReputationPolicy::direct_component(
+    EntityId truster, EntityId trustee, ContextId context, double now) const {
+  (void)truster;
+  (void)trustee;
+  (void)context;
+  (void)now;
+  return std::nullopt;
+}
+
+std::optional<double> BetaReputationPolicy::reputation_component(
+    EntityId evaluator, EntityId target, ContextId context, double now) const {
+  (void)evaluator;
+  if (!engine_.evidence(target, context, now)) return std::nullopt;
+  return engine_.reputation_score(target, context, now);
+}
+
+std::uint64_t BetaReputationPolicy::observation_count(
+    EntityId truster, EntityId trustee, ContextId context) const {
+  const auto it =
+      stream_counts_.find(StreamKey{truster, trustee, context});
+  return it != stream_counts_.end() ? it->second : 0;
+}
+
+std::size_t BetaReputationPolicy::forget(EntityId entity) {
+  std::size_t removed = engine_.forget(entity);
+  for (auto it = stream_counts_.begin(); it != stream_counts_.end();) {
+    if (std::get<0>(it->first) == entity || std::get<1>(it->first) == entity) {
+      it = stream_counts_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+BetaReputationPolicy::counters() const {
+  return {{"evaluations", evaluations_}};
+}
+
+}  // namespace gridtrust::trust

@@ -62,6 +62,20 @@ double BetaReputationEngine::reputation_score(EntityId target,
   return 1.0 + 5.0 * expectation;
 }
 
+std::size_t BetaReputationEngine::forget(EntityId entity) {
+  GT_REQUIRE(entity < entities_, "entity id out of range");
+  std::size_t removed = 0;
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->first.target == entity) {
+      it = pool_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 TrustLevel BetaReputationEngine::offered_level(EntityId target,
                                                ContextId context,
                                                double now) const {

@@ -57,6 +57,13 @@ class BetaReputationEngine {
   TrustLevel offered_level(EntityId target, ContextId context,
                            double now) const;
 
+  /// Drops every evidence pool about `entity` (identity reset).  The pool
+  /// is keyed by target only, so evidence *contributed* by the entity about
+  /// others is indistinguishable and stays — the price of pooling, and one
+  /// of the contrasts the backend tournament draws out.  Returns the number
+  /// of pools removed.
+  std::size_t forget(EntityId entity);
+
   std::uint64_t transaction_count() const { return tx_count_; }
 
  private:

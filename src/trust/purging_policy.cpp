@@ -1,0 +1,79 @@
+#include "trust/purging_policy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridtrust::trust {
+
+PurgingReputationPolicy::PurgingReputationPolicy(
+    std::unique_ptr<ReputationPolicy> base, PurgeConfig config)
+    : base_(std::move(base)), config_(config) {
+  GT_REQUIRE(base_ != nullptr, "purging decorator needs a base policy");
+  GT_REQUIRE(config_.deviation_threshold > 0.0,
+             "purge deviation threshold must be positive");
+  GT_REQUIRE(config_.min_consensus >= 1,
+             "purge filter needs at least one consensus report");
+  GT_REQUIRE(config_.consensus_rate > 0.0 && config_.consensus_rate <= 1.0,
+             "purge consensus rate must be in (0, 1]");
+  name_ = "purge:" + base_->name();
+}
+
+void PurgingReputationPolicy::absorb(EntityId target, ContextId context,
+                                     double score) {
+  Consensus& c = consensus_[ConsensusKey{target, context}];
+  if (c.count == 0) {
+    c.value = score;
+  } else {
+    c.value = (1.0 - config_.consensus_rate) * c.value +
+              config_.consensus_rate * score;
+  }
+  ++c.count;
+}
+
+void PurgingReputationPolicy::record_transaction(const Transaction& tx) {
+  // First-hand experience is never purged — and it anchors the consensus,
+  // so forged recommendations drift away from what executions actually
+  // showed rather than from each other.
+  base_->record_transaction(tx);
+  absorb(tx.trustee, tx.context, tx.observed_score);
+}
+
+void PurgingReputationPolicy::record_recommendation(
+    const Recommendation& rec) {
+  const auto it = consensus_.find(ConsensusKey{rec.target, rec.context});
+  if (it != consensus_.end() && it->second.count >= config_.min_consensus &&
+      std::abs(rec.score - it->second.value) > config_.deviation_threshold) {
+    ++purged_;
+    return;
+  }
+  ++accepted_;
+  absorb(rec.target, rec.context, rec.score);
+  base_->record_recommendation(rec);
+}
+
+std::size_t PurgingReputationPolicy::forget(EntityId entity) {
+  std::size_t removed = base_->forget(entity);
+  for (auto it = consensus_.begin(); it != consensus_.end();) {
+    if (it->first.target == entity) {
+      it = consensus_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+PurgingReputationPolicy::counters() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out = {
+      {"purged_recommendations", purged_},
+      {"accepted_recommendations", accepted_},
+  };
+  const auto base_counters = base_->counters();
+  out.insert(out.end(), base_counters.begin(), base_counters.end());
+  return out;
+}
+
+}  // namespace gridtrust::trust

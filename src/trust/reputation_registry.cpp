@@ -1,0 +1,154 @@
+#include "trust/reputation_registry.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+#include "trust/beta_policy.hpp"
+#include "trust/gamma_policy.hpp"
+
+namespace gridtrust::trust {
+
+namespace {
+
+constexpr const char* kPurgePrefix = "purge:";
+
+struct Registry {
+  std::mutex mutex;
+  // Ordered map: names() iterates deterministically.
+  std::map<std::string, ReputationFactory> factories;
+};
+
+Registry& registry() {
+  static Registry& instance = *new Registry;  // leaked: immune to static
+                                              // destruction order issues
+  static const bool initialized = [] {
+    instance.factories["gamma"] = [](const ReputationParams& params) {
+      return std::make_unique<GammaReputationPolicy>(
+          params.gamma, params.entities, params.contexts);
+    };
+    instance.factories["beta"] = [](const ReputationParams& params) {
+      return std::make_unique<BetaReputationPolicy>(
+          params.beta, params.entities, params.contexts);
+    };
+    instance.factories["fuzzy"] = [](const ReputationParams& params) {
+      return std::make_unique<FuzzyReputationPolicy>(
+          params.fuzzy, params.entities, params.contexts);
+    };
+    return true;
+  }();
+  (void)initialized;
+  return instance;
+}
+
+ReputationFactory find_factory(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.factories.find(name);
+  return it != r.factories.end() ? it->second : ReputationFactory{};
+}
+
+std::string known_backends_message() {
+  std::string names;
+  for (const std::string& name : reputation_backend_names()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return "known backends: " + names + ", purge:<base>";
+}
+
+}  // namespace
+
+void register_reputation_backend(const std::string& name,
+                                 ReputationFactory factory) {
+  GT_REQUIRE(!name.empty(), "backend name must not be empty");
+  GT_REQUIRE(name.rfind(kPurgePrefix, 0) != 0 && name != "purge",
+             "the purge: composite prefix is reserved");
+  GT_REQUIRE(factory != nullptr, "backend factory must not be null");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  GT_REQUIRE(!r.factories.count(name),
+             "reputation backend already registered: " + name);
+  r.factories[name] = std::move(factory);
+}
+
+std::vector<std::string> reputation_backend_names() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;
+}
+
+bool reputation_backend_exists(const std::string& name) {
+  if (name == "purge") return true;
+  if (name.rfind(kPurgePrefix, 0) == 0) {
+    return reputation_backend_exists(name.substr(6));
+  }
+  return find_factory(name) != nullptr;
+}
+
+std::unique_ptr<ReputationPolicy> make_reputation_policy(
+    const std::string& name, const ReputationParams& params) {
+  GT_REQUIRE(params.entities > 0, "need at least one entity");
+  GT_REQUIRE(params.contexts > 0, "need at least one context");
+  // "purge" decorates the default gamma backend; "purge:<base>" composes
+  // recursively over any resolvable base.
+  if (name == "purge" || name.rfind(kPurgePrefix, 0) == 0) {
+    const std::string base = name == "purge" ? "gamma" : name.substr(6);
+    return std::make_unique<PurgingReputationPolicy>(
+        make_reputation_policy(base, params), params.purge);
+  }
+  const ReputationFactory factory = find_factory(name);
+  GT_REQUIRE(factory != nullptr, "unknown reputation backend: " + name +
+                                     " (" + known_backends_message() + ")");
+  return factory(params);
+}
+
+std::unique_ptr<ReputationPolicy> make_reputation_policy(
+    const ReputationBackendConfig& config,
+    const TrustEngineConfig& gamma_config, std::size_t entities,
+    std::size_t contexts) {
+  ReputationParams params;
+  params.entities = entities;
+  params.contexts = contexts;
+  params.gamma = gamma_config;
+  for (const auto& [key, value] : config.params) {
+    if (key == "gamma.alpha") {
+      params.gamma.alpha = value;
+    } else if (key == "gamma.beta") {
+      params.gamma.beta = value;
+    } else if (key == "gamma.learning_rate") {
+      params.gamma.learning_rate = value;
+    } else if (key == "gamma.alliance_discount") {
+      params.gamma.alliance_discount = value;
+    } else if (key == "gamma.independent_weight") {
+      params.gamma.independent_weight = value;
+    } else if (key == "gamma.default_score") {
+      params.gamma.default_score = value;
+    } else if (key == "gamma.learn_recommender_weights") {
+      params.gamma.learn_recommender_weights = value != 0.0;
+    } else if (key == "gamma.recommender_learning_rate") {
+      params.gamma.recommender_learning_rate = value;
+    } else if (key == "beta.half_life") {
+      params.beta.evidence_half_life = value;
+    } else if (key == "fuzzy.learning_rate") {
+      params.fuzzy.learning_rate = value;
+    } else if (key == "fuzzy.default_score") {
+      params.fuzzy.default_score = value;
+    } else if (key == "purge.deviation_threshold") {
+      params.purge.deviation_threshold = value;
+    } else if (key == "purge.min_consensus") {
+      params.purge.min_consensus = static_cast<std::uint64_t>(value);
+    } else if (key == "purge.consensus_rate") {
+      params.purge.consensus_rate = value;
+    } else {
+      GT_REQUIRE(false, "unknown reputation backend parameter: " + key);
+    }
+  }
+  return make_reputation_policy(config.name, params);
+}
+
+}  // namespace gridtrust::trust

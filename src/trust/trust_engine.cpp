@@ -45,10 +45,13 @@ TrustEngine::TrustEngine(TrustEngineConfig config, std::size_t entities,
   GT_REQUIRE(config_.recommender_learning_rate > 0.0 &&
                  config_.recommender_learning_rate <= 1.0,
              "recommender learning rate must be in (0, 1]");
-  // Normalize the Γ weights once so evaluation is a plain blend.
+  // Normalize the Γ weights once so evaluation is a plain blend of two
+  // cached doubles (config_ keeps the normalized values for inspection).
   const double total = config_.alpha + config_.beta;
   config_.alpha /= total;
   config_.beta /= total;
+  norm_alpha_ = config_.alpha;
+  norm_beta_ = config_.beta;
   if (!config_.decay) config_.decay = make_no_decay();
   for (const auto& [context, fn] : config_.context_decay) {
     GT_REQUIRE(static_cast<std::size_t>(context) < contexts,
@@ -159,7 +162,7 @@ double TrustEngine::eventual_trust(EntityId truster, EntityId trustee,
   kGammaEvals.add();
   const auto theta = direct_trust(truster, trustee, context, now);
   const auto omega = reputation(truster, trustee, context, now);
-  if (theta && omega) return config_.alpha * *theta + config_.beta * *omega;
+  if (theta && omega) return norm_alpha_ * *theta + norm_beta_ * *omega;
   if (theta) return *theta;
   if (omega) return *omega;
   return config_.default_score;

@@ -164,6 +164,11 @@ class TrustEngine {
   void learn_recommenders(const Transaction& tx);
 
   TrustEngineConfig config_;
+  // Normalized Γ weights, hoisted out of the hot path at construction so
+  // eventual_trust() blends with two cached doubles instead of re-reading
+  // the config struct per evaluation.
+  double norm_alpha_ = 0.0;
+  double norm_beta_ = 0.0;
   std::size_t entities_;
   std::size_t contexts_;
   AllianceGraph alliances_;

@@ -1,0 +1,18 @@
+// gt-lint-fixture: path=src/trust/noisy_policy.cpp expect=GT003:13,GT003:18
+// GT003: a reputation backend smuggling a raw std engine.  Backends must be
+// deterministic — the conformance suite replays identical evidence streams
+// and expects identical evaluations, and the registry contract says equal
+// params give equivalent policies.  Any randomness belongs to the caller,
+// seeded through common/rng.
+#include <random>
+
+#include "common/rng.hpp"
+#include "trust/reputation_policy.hpp"
+
+double jittered_estimate(double base) {
+  static std::minstd_rand gen(2002);
+  std::uniform_real_distribution<double> jitter(-0.1, 0.1);
+  return base + jitter(gen);
+}
+
+double hexed() { return gridtrust::Rng(0x8d2f4a6c1b3e5d7fULL).uniform(); }

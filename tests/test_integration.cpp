@@ -32,7 +32,7 @@ TEST(Integration, TrustAgentsFeedTheSchedulerTable) {
   builder.add_machine(gd1, "m1");
   const grid::GridSystem grid = builder.build();
 
-  trust::DomainTrustBridge bridge({}, 2, 2, 8, /*min_transactions=*/2);
+  trust::DomainTrustBridge bridge(trust::TrustEngineConfig{}, 2, 2, 8, /*min_transactions=*/2);
   // Client domain 0 repeatedly observes good conduct at RD 0, bad at RD 1,
   // for activity 0; the resource side mirrors it.
   for (int i = 0; i < 5; ++i) {

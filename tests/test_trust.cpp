@@ -521,7 +521,7 @@ TEST(TrustReport, SummaryTakesTheMinimumAcrossActivities) {
 // ---------------------------------------------------------------- agents
 
 TEST(DomainTrustBridge, EntityMappingIsDisjoint) {
-  DomainTrustBridge bridge({}, 3, 2, 4);
+  DomainTrustBridge bridge(TrustEngineConfig{}, 3, 2, 4);
   EXPECT_EQ(bridge.cd_entity(0), 0u);
   EXPECT_EQ(bridge.cd_entity(2), 2u);
   EXPECT_EQ(bridge.rd_entity(0), 3u);
@@ -531,7 +531,7 @@ TEST(DomainTrustBridge, EntityMappingIsDisjoint) {
 }
 
 TEST(DomainTrustBridge, RefreshRequiresSignificantData) {
-  DomainTrustBridge bridge({}, 1, 1, 1, /*min_transactions=*/3);
+  DomainTrustBridge bridge(TrustEngineConfig{}, 1, 1, 1, /*min_transactions=*/3);
   TrustLevelTable table(1, 1, 1);
   bridge.observe_client_side(0, 0, 0, 1.0, 5.0);
   bridge.observe_resource_side(0, 0, 0, 2.0, 5.0);
@@ -542,7 +542,7 @@ TEST(DomainTrustBridge, RefreshRequiresSignificantData) {
 }
 
 TEST(DomainTrustBridge, SymmetricQuantifierTakesTheMin) {
-  DomainTrustBridge bridge({}, 1, 1, 1, 1);
+  DomainTrustBridge bridge(TrustEngineConfig{}, 1, 1, 1, 1);
   TrustLevelTable table(1, 1, 1);
   // Client thinks the resource is excellent; resource thinks the client is
   // poor -> the stored symmetric level must reflect the poor direction.
@@ -553,7 +553,7 @@ TEST(DomainTrustBridge, SymmetricQuantifierTakesTheMin) {
 }
 
 TEST(DomainTrustBridge, RefreshIsIdempotentWithoutNewData) {
-  DomainTrustBridge bridge({}, 2, 2, 2, 1);
+  DomainTrustBridge bridge(TrustEngineConfig{}, 2, 2, 2, 1);
   TrustLevelTable table(2, 2, 2);
   bridge.observe_client_side(0, 1, 0, 1.0, 4.0);
   bridge.observe_resource_side(1, 0, 0, 1.0, 4.0);
@@ -562,7 +562,7 @@ TEST(DomainTrustBridge, RefreshIsIdempotentWithoutNewData) {
 }
 
 TEST(DomainTrustBridge, RefreshValidatesTableShape) {
-  DomainTrustBridge bridge({}, 2, 2, 2);
+  DomainTrustBridge bridge(TrustEngineConfig{}, 2, 2, 2);
   TrustLevelTable wrong(1, 2, 2);
   EXPECT_THROW(bridge.refresh(wrong, 0.0), PreconditionError);
 }
