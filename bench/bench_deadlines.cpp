@@ -3,73 +3,62 @@
 // must integrate; this bench shows the security-overhead reduction turning
 // directly into met deadlines: the same requests, the same deadlines, only
 // the policy differs.
+//
+// The sweep itself (slack band x paired policies on common random numbers)
+// lives in the lab catalog as `deadlines`; this binary runs it on the sweep
+// engine — same numbers as `gridtrust_lab run deadlines` — and applies the
+// acceptance property to the manifest: the trust-aware arm must not miss
+// more deadlines than the unaware arm at any slack band.
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "common/table.hpp"
 #include "support.hpp"
 
 int main(int argc, char** argv) {
   using namespace gridtrust;
-  CliParser cli("bench_deadlines",
-                "Deadline miss rates, trust-aware vs unaware");
-  bench::add_common_flags(cli);
-  cli.add_int("tasks", 100, "tasks per replication");
-  cli.parse(argc, argv);
-  const auto replications =
-      static_cast<std::size_t>(cli.get_int("replications"));
-  const Rng master(static_cast<std::uint64_t>(cli.get_int("seed")));
 
-  TextTable table({"slack range", "unaware miss rate", "aware miss rate",
-                   "misses avoided"});
-  table.set_title("Deadline misses (MCT, inconsistent LoLo, " +
-                  std::to_string(cli.get_int("tasks")) +
-                  " tasks; deadline = arrival + slack x best EEC)");
-  struct Band {
-    double lo;
-    double hi;
-  };
-  for (const Band band : {Band{4, 8}, Band{8, 16}, Band{16, 32},
-                          Band{32, 64}}) {
-    RunningStats unaware_miss;
-    RunningStats aware_miss;
-    for (std::size_t i = 0; i < replications; ++i) {
-      sim::Scenario scenario = bench::scenario_from_flags(cli);
-      scenario.tasks = static_cast<std::size_t>(cli.get_int("tasks"));
-      Rng rng = master.stream(i);
-      const sim::Instance instance =
-          sim::draw_instance(scenario, sched::trust_unaware_policy(), rng);
-      // Deadlines come from the same per-replication stream, after the
-      // instance draws, so both policies see identical deadlines.
-      sched::CostMatrix eec(instance.problem.num_requests(),
-                            instance.problem.num_machines());
-      for (std::size_t r = 0; r < eec.rows(); ++r) {
-        for (std::size_t m = 0; m < eec.cols(); ++m) {
-          eec.at(r, m) = instance.problem.eec(r, m);
-        }
-      }
-      const std::vector<double> deadlines = workload::draw_deadlines(
-          instance.requests, eec, band.lo, band.hi, rng);
-      const sim::SimulationResult unaware =
-          sim::run_trms(instance.problem, scenario.rms);
-      const sim::SimulationResult aware = sim::run_trms(
-          instance.problem.with_policy(sched::trust_aware_policy()),
-          scenario.rms);
-      unaware_miss.add(
-          workload::deadline_miss_fraction(unaware.schedule, deadlines));
-      aware_miss.add(
-          workload::deadline_miss_fraction(aware.schedule, deadlines));
+  CliParser cli("bench_deadlines",
+                "Deadline miss rates, trust-aware vs unaware (lab spec "
+                "`deadlines`)");
+  bench::add_lab_flags(cli);
+  cli.parse(argc, argv);
+
+  const lab::SweepRun run =
+      bench::run_catalog_spec(cli, "deadlines", /*paper_layout=*/false);
+
+  bool pass = true;
+  std::vector<std::string> violations;
+  for (const lab::ManifestCell& cell : run.manifest.cells) {
+    double slack_lo = 0.0;
+    for (const auto& [key, value] : cell.params) {
+      if (key == "slack_lo") slack_lo = value.number();
     }
-    table.add_row(
-        {"[" + format_grouped(band.lo, 0) + ", " + format_grouped(band.hi, 0) +
-             "]",
-         format_percent(unaware_miss.mean() * 100.0),
-         format_percent(aware_miss.mean() * 100.0),
-         format_percent((unaware_miss.mean() - aware_miss.mean()) * 100.0)});
+    double avoided = 0.0;
+    for (const auto& [name, metric] : cell.metrics) {
+      if (name == "misses_avoided_pct") avoided = metric.mean;
+    }
+    if (avoided < 0.0) {
+      pass = false;
+      violations.push_back(
+          "slack [" + format_grouped(slack_lo, 0) + ", " +
+          format_grouped(2.0 * slack_lo, 0) + "]: trust-aware misses " +
+          format_percent(-avoided) + " more deadlines than unaware");
+    }
   }
-  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+
   std::cout << "\nreading: the makespan improvement compounds into the QoS "
                "dimension — under saturation, queueing dominates completion "
                "times, so every request finishing earlier under the "
                "trust-aware policy converts into met deadlines at every "
                "slack level.\n";
-  return 0;
+  if (pass) {
+    std::cout << "deadline check: PASS (trust-aware never misses more than "
+                 "unaware at any slack band)\n";
+    return 0;
+  }
+  std::cout << "deadline check: FAIL\n";
+  for (const std::string& v : violations) std::cout << "  " << v << "\n";
+  return 1;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Snapshot the google-benchmark perf benches into repo-root BENCH_<name>.json
+# files, the PR-over-PR perf trajectory tracked in ROADMAP.md.
+#
+#   scripts/bench_perf.sh [build-dir] [bench ...]
+#
+# Defaults: build dir `build`, benches `des econ`.  Each bench_perf_<name>
+# binary runs with --benchmark_out so the JSON is the benchmark library's own
+# format (context + per-benchmark real/cpu time and items_per_second).
+# Timings are machine-dependent — the JSONs are trend data, not a CI gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+shift || true
+benches=("$@")
+if [ "${#benches[@]}" -eq 0 ]; then
+  benches=(des econ)
+fi
+
+for name in "${benches[@]}"; do
+  bin="${build_dir}/bench/bench_perf_${name}"
+  if [ ! -x "${bin}" ]; then
+    echo "error: ${bin} not built (cmake --build ${build_dir} --target bench_perf_${name})" >&2
+    exit 1
+  fi
+  echo "== bench_perf_${name} -> BENCH_${name}.json"
+  "${bin}" --benchmark_out="BENCH_${name}.json" --benchmark_out_format=json \
+    --benchmark_min_time=0.05
+done

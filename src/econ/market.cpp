@@ -1,0 +1,194 @@
+#include "econ/market.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gridtrust::econ {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Arrival-order processing sequence with index tie-breaks: the market is
+/// a pure function of the problem, not of generation order quirks.
+std::vector<std::size_t> arrival_order(const MarketProblem& problem) {
+  std::vector<std::size_t> order(problem.num_requests());
+  for (std::size_t r = 0; r < order.size(); ++r) order[r] = r;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return problem.base().arrival_time(a) <
+                            problem.base().arrival_time(b);
+                   });
+  return order;
+}
+
+/// One machine's offer for a request, on the decision view.
+struct Offer {
+  std::size_t machine = sched::kUnassigned;
+  double price = kInf;       // decision_price
+  double completion = kInf;  // estimated completion
+};
+
+}  // namespace
+
+MarketProblem::MarketProblem(const sched::SchedulingProblem& base,
+                             const std::vector<grid::Request>& requests,
+                             std::vector<double> rates)
+    : base_(base), requests_(requests), rates_(std::move(rates)) {
+  GT_REQUIRE(requests_.size() == base_.num_requests(),
+             "market requests must match the problem's request count");
+  GT_REQUIRE(rates_.size() == base_.num_machines(),
+             "market rates must cover every machine");
+  for (const double rate : rates_) {
+    GT_REQUIRE(rate > 0.0, "posted rates must be positive");
+  }
+}
+
+MarketResult run_market(const MarketProblem& problem, MechanismKind mechanism,
+                        double ready) {
+  const sched::SchedulingProblem& base = problem.base();
+  MarketResult result;
+  result.schedule = sched::Schedule::for_problem(base);
+  result.outcomes.assign(problem.num_requests(), AllocationOutcome{});
+
+  for (const std::size_t r : arrival_order(problem)) {
+    const grid::Request& request = problem.request(r);
+    const double start_floor =
+        std::max(ready, base.arrival_time(r));
+
+    // Collect feasible offers on the decision view.  `within_budget`
+    // tracks whether the budget alone admits any machine, to classify a
+    // rejection as budget- vs deadline-bound.
+    std::vector<Offer> feasible;
+    bool within_budget = false;
+    for (std::size_t m = 0; m < problem.num_machines(); ++m) {
+      Offer offer;
+      offer.machine = m;
+      offer.price = problem.decision_price(r, m);
+      offer.completion =
+          std::max(result.schedule.machine_available[m], start_floor) +
+          base.decision_cost(r, m);
+      const bool budget_ok =
+          !request.has_budget() || offer.price <= request.budget;
+      const bool deadline_ok =
+          !request.has_deadline() || offer.completion <= request.deadline;
+      if (budget_ok) within_budget = true;
+      if (budget_ok && deadline_ok) feasible.push_back(offer);
+    }
+
+    AllocationOutcome& outcome = result.outcomes[r];
+    if (feasible.empty()) {
+      if (within_budget) {
+        ++result.counters.rejected_deadline;
+      } else {
+        ++result.counters.rejected_budget;
+      }
+      continue;
+    }
+
+    // Pick the winner.  Ties fall to the lower machine index because the
+    // feasible list is built in machine order and comparisons are strict.
+    const Offer* winner = &feasible.front();
+    double second_price = kInf;  // auction: lowest losing ask
+    switch (mechanism) {
+      case MechanismKind::kPostedCost:
+        for (const Offer& offer : feasible) {
+          if (offer.price < winner->price ||
+              (offer.price == winner->price &&
+               offer.completion < winner->completion)) {
+            winner = &offer;
+          }
+        }
+        break;
+      case MechanismKind::kPostedTime:
+        for (const Offer& offer : feasible) {
+          if (offer.completion < winner->completion ||
+              (offer.completion == winner->completion &&
+               offer.price < winner->price)) {
+            winner = &offer;
+          }
+        }
+        break;
+      case MechanismKind::kAuction: {
+        for (const Offer& offer : feasible) {
+          if (offer.price < winner->price) winner = &offer;
+        }
+        for (const Offer& offer : feasible) {
+          if (offer.machine != winner->machine &&
+              offer.price < second_price) {
+            second_price = offer.price;
+          }
+        }
+        break;
+      }
+    }
+
+    sched::commit_assignment(base, r, winner->machine, ready,
+                             result.schedule);
+    outcome.served = true;
+    outcome.machine = winner->machine;
+    outcome.completion = result.schedule.completion[r];
+
+    if (mechanism == MechanismKind::kAuction) {
+      // Vickrey pricing: the winner is paid the second-lowest feasible
+      // ask; a sole bidder collects the buyer's reserve (its budget) when
+      // one exists, its own ask otherwise.  The clearing price is a
+      // contract, so auction buyers never overrun their budget — the
+      // metering risk posted-price buyers carry stays with the seller.
+      double clearing = second_price < kInf
+                            ? second_price
+                            : (request.has_budget() ? request.budget
+                                                    : winner->price);
+      if (request.has_budget()) clearing = std::min(clearing, request.budget);
+      outcome.spend = clearing;
+    } else {
+      // Posted price: the meter charges the *actual* cost, so a decision
+      // model that underestimates (trust-unaware blanket security) shows
+      // up as budget overruns.
+      outcome.spend = problem.actual_price(r, winner->machine);
+    }
+
+    ++result.counters.served;
+    if (request.has_budget() && outcome.spend > request.budget) {
+      ++result.counters.budget_overruns;
+    }
+    if (request.has_deadline() && outcome.completion > request.deadline) {
+      ++result.counters.deadline_misses;
+    }
+    result.total_spend += outcome.spend;
+    result.welfare += request.valuation - outcome.spend;
+  }
+  return result;
+}
+
+void draw_qos_terms(std::vector<grid::Request>& requests,
+                    const sched::CostMatrix& eec,
+                    const std::vector<double>& rates,
+                    const EconomyConfig& config, Rng& rng) {
+  GT_REQUIRE(requests.size() == eec.rows(),
+             "QoS draw: requests must match the EEC matrix");
+  GT_REQUIRE(rates.size() == eec.cols(),
+             "QoS draw: rates must cover every machine");
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    double best_eec = kInf;
+    double best_price = kInf;
+    for (std::size_t m = 0; m < rates.size(); ++m) {
+      best_eec = std::min(best_eec, eec.get(r, m));
+      best_price = std::min(best_price, rates[m] * eec.get(r, m));
+    }
+    const double slack =
+        rng.uniform(config.deadline_slack_lo, config.deadline_slack_hi);
+    const double factor =
+        rng.uniform(config.budget_factor_lo, config.budget_factor_hi);
+    const double markup =
+        rng.uniform(config.valuation_markup_lo, config.valuation_markup_hi);
+    requests[r].deadline = requests[r].arrival_time + slack * best_eec;
+    requests[r].budget = factor * best_price;
+    requests[r].valuation = markup * requests[r].budget;
+  }
+}
+
+}  // namespace gridtrust::econ

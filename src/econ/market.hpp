@@ -1,0 +1,108 @@
+// The market view of a scheduling problem (gridtrust::econ).
+//
+// MarketProblem layers money over sched::SchedulingProblem: machine m
+// charges rate(m) G$ per second, so running request r there costs
+// rate(m) x cost(r, m).  Like the base problem it exposes two views — the
+// decision cost (what the buyer believes it will pay) and the actual cost
+// (what the machine's meter really charges) — so a trust-unaware market
+// that decides on bare EEC still pays for the blanket security it incurs,
+// and budget overruns become a measurable mispricing signal.
+//
+// Allocation happens through run_market: the Buyya-style deadline/budget-
+// constrained posted-price mechanisms (cost-optimized and time-optimized)
+// and a sealed-bid second-price reverse auction.  All three process
+// requests in arrival order with deterministic lowest-index tie-breaks, so
+// a market clears bit-identically for a given problem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "econ/config.hpp"
+#include "grid/request.hpp"
+#include "sched/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace gridtrust::econ {
+
+/// Immutable priced view handed to market mechanisms.  `requests` supplies
+/// the QoS terms (deadline/budget/valuation) and must match the base
+/// problem's request count; `rates` must match its machine count.
+class MarketProblem {
+ public:
+  MarketProblem(const sched::SchedulingProblem& base,
+                const std::vector<grid::Request>& requests,
+                std::vector<double> rates);
+
+  const sched::SchedulingProblem& base() const { return base_; }
+  std::size_t num_requests() const { return base_.num_requests(); }
+  std::size_t num_machines() const { return base_.num_machines(); }
+
+  /// Posted rate of machine m (G$ / second).
+  double rate(std::size_t m) const { return rates_[m]; }
+  const std::vector<double>& rates() const { return rates_; }
+
+  /// Money the buyer *believes* r costs on m: rate x decision cost.
+  double decision_price(std::size_t r, std::size_t m) const {
+    return rates_[m] * base_.decision_cost(r, m);
+  }
+
+  /// Money the machine's meter *actually* charges: rate x actual cost.
+  double actual_price(std::size_t r, std::size_t m) const {
+    return rates_[m] * base_.actual_cost(r, m);
+  }
+
+  const grid::Request& request(std::size_t r) const { return requests_[r]; }
+
+ private:
+  const sched::SchedulingProblem& base_;
+  std::vector<grid::Request> requests_;
+  std::vector<double> rates_;
+};
+
+/// How one request fared in the market.
+struct AllocationOutcome {
+  /// True when a machine was bought; false = rejected at decision time.
+  bool served = false;
+  /// Winning machine (sched::kUnassigned when rejected).
+  std::size_t machine = sched::kUnassigned;
+  /// Realized spend in G$: the clearing price under an auction, the
+  /// metered actual price under posted-price mechanisms.  0 when rejected.
+  double spend = 0.0;
+  /// Realized completion time; 0 when rejected.
+  double completion = 0.0;
+};
+
+/// One cleared market round.
+struct MarketResult {
+  /// Realized timings of the served requests (rejected requests stay
+  /// unassigned; Schedule::complete() is false when any were rejected).
+  sched::Schedule schedule;
+  std::vector<AllocationOutcome> outcomes;
+  EconCounters counters;
+  /// Total realized spend over served requests (G$).
+  double total_spend = 0.0;
+  /// Welfare: sum of (valuation - spend) over served requests.
+  double welfare = 0.0;
+};
+
+/// Clears the market: allocates every request of `problem` under
+/// `mechanism`, in arrival order, respecting deadlines and budgets on the
+/// decision view and metering spend on the actual view.  `ready` floors
+/// all start times (round start in campaigns).
+MarketResult run_market(const MarketProblem& problem, MechanismKind mechanism,
+                        double ready = 0.0);
+
+/// Draws the QoS terms of `requests` in place from `config`:
+///   deadline  = arrival + slack x min_m eec(r, m),   slack ~ U[slack range]
+///   budget    = factor x min_m (rates[m] x eec(r, m)), factor ~ U[budget range]
+///   valuation = markup x budget,                     markup ~ U[markup range]
+/// The cheapest-machine anchors make the terms meaningful at any EEC scale.
+/// `rng` advances; call after the instance draw so the clean streams are
+/// untouched.
+void draw_qos_terms(std::vector<grid::Request>& requests,
+                    const sched::CostMatrix& eec,
+                    const std::vector<double>& rates,
+                    const EconomyConfig& config, Rng& rng);
+
+}  // namespace gridtrust::econ

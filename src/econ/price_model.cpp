@@ -1,0 +1,163 @@
+#include "econ/price_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gridtrust::econ {
+
+namespace {
+
+/// Shared storage + signal validation for the concrete models.
+class BasePriceModel : public PriceModel {
+ public:
+  BasePriceModel(std::string name, std::vector<double> base_rates)
+      : name_(std::move(name)),
+        base_(std::move(base_rates)),
+        rates_(base_) {
+    GT_REQUIRE(!base_.empty(), "price model needs at least one machine");
+    for (const double rate : base_) {
+      GT_REQUIRE(rate > 0.0, "base rates must be positive");
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  std::size_t machines() const override { return base_.size(); }
+  double rate(std::size_t m) const override {
+    GT_REQUIRE(m < rates_.size(), "machine index out of range");
+    return rates_[m];
+  }
+  double base_rate(std::size_t m) const override {
+    GT_REQUIRE(m < base_.size(), "machine index out of range");
+    return base_[m];
+  }
+
+ protected:
+  void check_signals(const RoundSignals& signals) const {
+    GT_REQUIRE(signals.utilization.size() == base_.size() &&
+                   signals.trust_level.size() == base_.size(),
+               "round signals must cover every machine");
+  }
+
+  std::string name_;
+  std::vector<double> base_;
+  std::vector<double> rates_;
+};
+
+/// Rates never move.
+class FlatPriceModel final : public BasePriceModel {
+ public:
+  explicit FlatPriceModel(std::vector<double> base_rates)
+      : BasePriceModel("flat", std::move(base_rates)) {}
+
+  void update_round(const RoundSignals& signals) override {
+    check_signals(signals);
+  }
+};
+
+/// Multiplicative supply/demand walk: a machine busier than the target
+/// utilization raises its rate, an idle one lowers it, clamped to
+/// [min_factor, max_factor] x base.
+class CommodityPriceModel final : public BasePriceModel {
+ public:
+  CommodityPriceModel(std::vector<double> base_rates,
+                      const EconomyConfig& config)
+      : BasePriceModel("commodity", std::move(base_rates)),
+        elasticity_(config.commodity_elasticity),
+        target_(config.target_utilization),
+        min_factor_(config.min_price_factor),
+        max_factor_(config.max_price_factor),
+        factor_(base_.size(), 1.0) {}
+
+  void update_round(const RoundSignals& signals) override {
+    check_signals(signals);
+    for (std::size_t m = 0; m < base_.size(); ++m) {
+      const double excess = signals.utilization[m] - target_;
+      factor_[m] = std::clamp(factor_[m] * (1.0 + elasticity_ * excess),
+                              min_factor_, max_factor_);
+      rates_[m] = base_[m] * factor_[m];
+    }
+  }
+
+ private:
+  double elasticity_;
+  double target_;
+  double min_factor_;
+  double max_factor_;
+  std::vector<double> factor_;
+};
+
+/// Trust as a price signal: the rate is base x a linear premium in the
+/// domain's believed trust level, recomputed from the current table each
+/// round (no compounding — a recovered domain reprices immediately).
+/// Level 3.5 (the scale midpoint) prices at base; level 6 earns the full
+/// premium, level 1 takes the full discount.
+class TrustWeightedPriceModel final : public BasePriceModel {
+ public:
+  TrustWeightedPriceModel(std::vector<double> base_rates,
+                          const EconomyConfig& config)
+      : BasePriceModel("trust", std::move(base_rates)),
+        premium_(config.trust_premium_pct / 100.0) {}
+
+  void update_round(const RoundSignals& signals) override {
+    check_signals(signals);
+    for (std::size_t m = 0; m < base_.size(); ++m) {
+      const double level = std::clamp(signals.trust_level[m], 1.0, 6.0);
+      rates_[m] = base_[m] * (1.0 + premium_ * (level - 3.5) / 2.5);
+    }
+  }
+
+ private:
+  double premium_;
+};
+
+}  // namespace
+
+std::vector<double> PriceModel::rates() const {
+  std::vector<double> out;
+  out.reserve(machines());
+  for (std::size_t m = 0; m < machines(); ++m) out.push_back(rate(m));
+  return out;
+}
+
+double PriceModel::price_index() const {
+  double rate_sum = 0.0;
+  double base_sum = 0.0;
+  for (std::size_t m = 0; m < machines(); ++m) {
+    rate_sum += rate(m);
+    base_sum += base_rate(m);
+  }
+  return base_sum > 0.0 ? rate_sum / base_sum : 0.0;
+}
+
+std::vector<double> draw_base_rates(const EconomyConfig& config,
+                                    std::size_t machines, Rng& rng) {
+  GT_REQUIRE(machines >= 1, "need at least one machine");
+  std::vector<double> rates;
+  rates.reserve(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    rates.push_back(config.base_rate *
+                    rng.uniform(1.0 - config.rate_spread,
+                                1.0 + config.rate_spread));
+  }
+  return rates;
+}
+
+std::unique_ptr<PriceModel> make_price_model(const EconomyConfig& config,
+                                             std::vector<double> base_rates) {
+  switch (pricing_from_string(config.pricing)) {
+    case PricingKind::kFlat:
+      return std::make_unique<FlatPriceModel>(std::move(base_rates));
+    case PricingKind::kCommodity:
+      return std::make_unique<CommodityPriceModel>(std::move(base_rates),
+                                                   config);
+    case PricingKind::kTrustWeighted:
+      return std::make_unique<TrustWeightedPriceModel>(std::move(base_rates),
+                                                       config);
+  }
+  GT_REQUIRE(false, "unreachable pricing kind");
+  return nullptr;
+}
+
+}  // namespace gridtrust::econ

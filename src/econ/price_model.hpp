@@ -1,0 +1,71 @@
+// Per-machine price models (gridtrust::econ).
+//
+// A PriceModel owns the posted rate (G$ per second of machine time) of
+// every machine and revises it once per market round from two signals: the
+// machine's realized utilization (commodity supply/demand) and the trust
+// level of its resource domain (trust as a price signal — the ISSUE's
+// "low-trust resources must discount, high-trust ones command a premium").
+//
+// Models are deterministic: rates are a pure function of the base rates
+// and the sequence of update_round calls, never of wall clock or hidden
+// randomness, so market campaigns replay bit-identically from a seed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "econ/config.hpp"
+
+namespace gridtrust::econ {
+
+/// The per-round signals a price model may react to, one entry per machine.
+struct RoundSignals {
+  /// Realized utilization in [0, 1]: busy time / round makespan.
+  std::vector<double> utilization;
+  /// Mean numeric trust level (1..6) of the machine's resource domain as
+  /// the current trust-level table believes it.
+  std::vector<double> trust_level;
+};
+
+/// Abstract per-machine pricing.  Not thread-safe; one instance per
+/// campaign (the lab engine gives every replication its own).
+class PriceModel {
+ public:
+  virtual ~PriceModel() = default;
+
+  /// Stable identifier ("flat", "commodity", "trust").
+  virtual const std::string& name() const = 0;
+
+  virtual std::size_t machines() const = 0;
+
+  /// Current posted rate of machine `m` (G$ / second).
+  virtual double rate(std::size_t m) const = 0;
+
+  /// The rate the machine would post with no demand or trust adjustment.
+  virtual double base_rate(std::size_t m) const = 0;
+
+  /// Folds one market round's signals into the posted rates.
+  virtual void update_round(const RoundSignals& signals) = 0;
+
+  /// All current rates, in machine order.
+  std::vector<double> rates() const;
+
+  /// Price index: current revenue-neutral rate level relative to base,
+  /// sum(rate) / sum(base_rate).  1.0 = prices at base.
+  double price_index() const;
+};
+
+/// Draws per-machine base rates: base_rate x U[1 - spread, 1 + spread].
+/// `rng` advances; equal (config, machine count, rng state) draws agree.
+std::vector<double> draw_base_rates(const EconomyConfig& config,
+                                    std::size_t machines, Rng& rng);
+
+/// Constructs the configured model over `base_rates`.  Throws
+/// PreconditionError for unknown pricing names or empty base rates.
+std::unique_ptr<PriceModel> make_price_model(const EconomyConfig& config,
+                                             std::vector<double> base_rates);
+
+}  // namespace gridtrust::econ

@@ -35,6 +35,22 @@ struct Request {
   /// Arrival time at the RMS (seconds).
   double arrival_time = 0.0;
 
+  // --- QoS terms (gridtrust::econ; Buyya-style deadline/budget requests).
+  // All three default to "unconstrained", so requests built before the
+  // economy subsystem behave exactly as they always did.
+  /// Latest acceptable completion time (absolute seconds); 0 = none.
+  double deadline = 0.0;
+  /// Most the client will spend on this request (G$); 0 = unlimited.
+  double budget = 0.0;
+  /// What serving the request is worth to the client (G$); welfare
+  /// accounting sums valuation - spend over served requests.  0 = unknown.
+  double valuation = 0.0;
+
+  /// True when a deadline constrains this request.
+  bool has_deadline() const { return deadline > 0.0; }
+  /// True when a budget constrains this request.
+  bool has_budget() const { return budget > 0.0; }
+
   /// Effective RTL: the activity may proceed without supplement only if the
   /// offer meets the *maximum* of the client and resource requirements.
   trust::TrustLevel effective_rtl() const {

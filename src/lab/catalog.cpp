@@ -6,6 +6,7 @@
 #include "chaos/campaign.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "econ/campaign.hpp"
 #include "sched/problem.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario_builder.hpp"
@@ -328,6 +329,143 @@ SweepSpec smoke_backends_spec() {
   return spec;
 }
 
+/// One market campaign: fixed topology, the named price model and
+/// mechanism clearing the market, optionally with the ballot-stuffing
+/// cartel from the backend tournament manipulating the trust signal the
+/// trust-weighted model prices on.
+obs::RunReport market_campaign(const std::string& pricing,
+                               const std::string& mechanism, bool trust_aware,
+                               bool cartel, std::size_t rounds,
+                               std::size_t tasks_per_round,
+                               std::uint64_t rep_seed) {
+  const std::size_t n_rd = 6;  // one machine per RD
+  econ::EconomyConfig economy;
+  economy.pricing = pricing;
+  economy.mechanism = mechanism;
+  sim::ScenarioBuilder builder;
+  builder.machines(n_rd)
+      .resource_domains(n_rd, n_rd)
+      .client_domains(3, 3)
+      .heuristic("mct")
+      .inconsistent()
+      .with_economy(economy);
+  if (cartel) {
+    builder.with_adversaries(tournament_adversaries("ballot_stuffing"));
+  }
+  econ::MarketRunConfig config;
+  config.rounds = rounds;
+  config.tasks_per_round = tasks_per_round;
+  config.trust_aware = trust_aware;
+  return econ::run_market_campaign(builder.build(), config, rep_seed)
+      .report();
+}
+
+SweepSpec market_tournament_spec() {
+  SweepSpec spec;
+  spec.name = "market_tournament";
+  spec.title = "Grid economy tournament: price models x mechanisms x trust";
+  spec.paper_ref = "economic extension of §4's ESC pricing (docs/economy.md)";
+  spec.expected = "trust-aware arms overrun budgets less than unaware ones; "
+                  "the cartel lifts its own price index under trust pricing "
+                  "until detection claws the premium back";
+  spec.axes = {{"pricing", {"flat", "commodity", "trust"}},
+               {"mechanism", {"posted-cost", "posted-time", "auction"}},
+               {"trust_aware", {0, 1}},
+               {"cartel", {0, 1}}};
+  spec.replications = 2;  // independent campaigns averaged per cell
+  spec.tolerance_pct = 2.0;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    return market_campaign(cell.text("pricing"), cell.text("mechanism"),
+                           cell.number("trust_aware") != 0.0,
+                           cell.number("cartel") != 0.0,
+                           /*rounds=*/10, /*tasks_per_round=*/30, rep_seed);
+  };
+  spec.display_metrics = {"served_fraction", "budget_overrun_rate",
+                          "steady_price_index", "steady_adversary_premium",
+                          "steady_welfare"};
+  return spec;
+}
+
+SweepSpec smoke_econ_spec() {
+  SweepSpec spec;
+  spec.name = "smoke_econ";
+  spec.title = "CI smoke sweep: trust-weighted market, cartel on/off";
+  spec.paper_ref = "market_tournament, shrunk for CI "
+                   "(baselines/smoke_econ.json)";
+  spec.expected = "both mechanisms clear the trust-priced market with and "
+                  "without the cartel; gated against the committed baseline";
+  spec.axes = {{"mechanism", {"posted-cost", "auction"}}, {"cartel", {0, 1}}};
+  spec.replications = 2;
+  spec.tolerance_pct = 2.5;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    return market_campaign("trust", cell.text("mechanism"),
+                           /*trust_aware=*/true,
+                           cell.number("cartel") != 0.0,
+                           /*rounds=*/6, /*tasks_per_round=*/16, rep_seed);
+  };
+  spec.display_metrics = {"served_fraction", "budget_overrun_rate",
+                          "steady_price_index", "steady_adversary_premium"};
+  return spec;
+}
+
+SweepSpec deadlines_spec() {
+  SweepSpec spec;
+  spec.name = "deadlines";
+  spec.title = "Deadline miss rates, trust-aware vs unaware (MCT, "
+               "inconsistent LoLo, 100 tasks)";
+  spec.paper_ref = "QoS extension of Tables 4-9 (deadline = arrival + "
+                   "slack x best EEC)";
+  spec.expected = "the security-overhead reduction converts into met "
+                  "deadlines at every slack band";
+  // Band [lo, 2 x lo] reproduces bench_deadlines' {4,8} {8,16} {16,32}
+  // {32,64} slack ranges as a single numeric axis.
+  spec.axes = {{"slack_lo", {4, 8, 16, 32}}};
+  spec.replications = 25;
+  spec.run = [](const Cell& cell, std::uint64_t rep_seed) {
+    const double lo = cell.number("slack_lo");
+    const sim::Scenario scenario = sim::ScenarioBuilder()
+                                       .tasks(100)
+                                       .heuristic("mct")
+                                       .immediate()
+                                       .inconsistent()
+                                       .build();
+    Rng rng(rep_seed);
+    const sim::Instance instance =
+        sim::draw_instance(scenario, sched::trust_unaware_policy(), rng);
+    // Deadlines come from the same per-replication stream, after the
+    // instance draws, so both policies see identical deadlines.
+    sched::CostMatrix eec(instance.problem.num_requests(),
+                          instance.problem.num_machines());
+    for (std::size_t r = 0; r < eec.rows(); ++r) {
+      for (std::size_t m = 0; m < eec.cols(); ++m) {
+        eec.at(r, m) = instance.problem.eec(r, m);
+      }
+    }
+    const std::vector<double> deadlines = workload::draw_deadlines(
+        instance.requests, eec, lo, 2.0 * lo, rng);
+    const sim::SimulationResult unaware =
+        sim::run_trms(instance.problem, scenario.rms);
+    const sim::SimulationResult aware = sim::run_trms(
+        instance.problem.with_policy(sched::trust_aware_policy()),
+        scenario.rms);
+    obs::RunReport report;
+    report.set("unaware.miss_rate",
+               workload::deadline_miss_fraction(unaware.schedule, deadlines));
+    report.set("aware.miss_rate",
+               workload::deadline_miss_fraction(aware.schedule, deadlines));
+    return report;
+  };
+  spec.finalize = [](const Cell&, AggregateSet& aggregate) {
+    aggregate.set_derived("misses_avoided_pct",
+                          (aggregate.mean("unaware.miss_rate") -
+                           aggregate.mean("aware.miss_rate")) *
+                              100.0);
+  };
+  spec.display_metrics = {"unaware.miss_rate", "aware.miss_rate",
+                          "misses_avoided_pct"};
+  return spec;
+}
+
 SweepSpec smoke_spec() {
   SweepSpec spec;
   spec.name = "smoke";
@@ -374,8 +512,11 @@ std::vector<SweepSpec> build_catalog() {
   specs.push_back(pricing_ablation_spec(/*sweep_weight=*/true));
   specs.push_back(pricing_ablation_spec(/*sweep_weight=*/false));
   specs.push_back(batch_interval_spec());
+  specs.push_back(market_tournament_spec());
+  specs.push_back(deadlines_spec());
   specs.push_back(smoke_spec());
   specs.push_back(smoke_backends_spec());
+  specs.push_back(smoke_econ_spec());
   return specs;
 }
 
@@ -404,6 +545,9 @@ const std::vector<std::pair<std::string, std::vector<std::string>>>& suites() {
                                           "ablation_trust_weight",
                                           "ablation_blanket",
                                           "ablation_batch_interval"});
+        out.emplace_back("markets",
+                         std::vector<std::string>{"market_tournament",
+                                                  "deadlines", "smoke_econ"});
         std::vector<std::string> all;
         for (const SweepSpec& spec : builtin_specs()) all.push_back(spec.name);
         out.emplace_back("all", std::move(all));

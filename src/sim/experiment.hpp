@@ -14,6 +14,7 @@
 
 #include "chaos/config.hpp"
 #include "common/stats.hpp"
+#include "econ/config.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "grid/grid_system.hpp"
@@ -53,6 +54,11 @@ struct Scenario {
   /// behave exactly as before).  The static experiment path draws its trust
   /// table directly and ignores this field.
   trust::ReputationBackendConfig reputation;
+  /// Grid economy: prices, budgets, deadlines, market mechanism
+  /// (gridtrust::econ).  Disabled (the default) is inert — no clean path
+  /// reads the field, so pre-economy results are bit-identical.  Only the
+  /// market campaign driver (econ::run_market_campaign) consumes it.
+  econ::EconomyConfig economy;
 
   Scenario() { requests.arrival_rate = 1.0; }
 };

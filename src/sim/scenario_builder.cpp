@@ -134,6 +134,12 @@ ScenarioBuilder& ScenarioBuilder::with_reputation_backend(
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::with_economy(econ::EconomyConfig config) {
+  scenario_.economy = std::move(config);
+  scenario_.economy.enabled = true;
+  return *this;
+}
+
 Scenario ScenarioBuilder::build() const {
   const Scenario& s = scenario_;
   GT_REQUIRE(s.tasks >= 1, "tasks: need at least one request");
@@ -168,6 +174,7 @@ Scenario ScenarioBuilder::build() const {
   // checked against the drawn grid by the consumers (BehaviorEngine,
   // FaultInjector, run_campaign).
   s.chaos.validate();
+  s.economy.validate();
   GT_REQUIRE(trust::reputation_backend_exists(s.reputation.name),
              "reputation: unknown backend '" + s.reputation.name + "'");
   return scenario_;

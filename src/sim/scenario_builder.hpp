@@ -92,6 +92,12 @@ class ScenarioBuilder {
   ScenarioBuilder& with_reputation_backend(
       std::string name, std::map<std::string, double> params = {});
 
+  /// Installs a Grid economy (prices, budgets, deadlines, market mechanism;
+  /// see econ/config.hpp) and enables it.  The config is range-validated at
+  /// build() time.  Only market campaigns (econ::run_market_campaign) read
+  /// the field — clean experiments ignore it entirely.
+  ScenarioBuilder& with_economy(econ::EconomyConfig config);
+
   /// Validates the accumulated configuration and returns the Scenario.
   /// Throws gridtrust::PreconditionError with a field-naming message on any
   /// violation (zero tasks/machines, unknown heuristic for the mode,

@@ -67,6 +67,14 @@ struct ReputationBackendConfig {
 
   /// True when the config selects the default Γ backend untouched.
   bool is_default() const { return name == "gamma" && params.empty(); }
+
+  /// Parses one "key=value" override from untyped text (CLI flags, sweep
+  /// axis values) into `params`.  The key is the dotted knob name
+  /// ("purge.deviation_threshold"); the value must parse fully as a
+  /// number.  Throws PreconditionError naming the override on a missing
+  /// '=', an empty key, or a non-numeric value.  Key validity itself is
+  /// checked later, at policy construction, where the backend is known.
+  void set_override(const std::string& assignment);
 };
 
 /// Abstract reputation backend.  Implementations are not thread-safe; each

@@ -49,6 +49,23 @@ ReputationFactory find_factory(const std::string& name) {
   return it != r.factories.end() ? it->second : ReputationFactory{};
 }
 
+/// How many purge: layers a composite name may stack.  Each layer is a
+/// full deviation-tracking decorator, so depth beyond a couple has no
+/// modelling meaning — a runaway name like purge:purge:purge:... is far
+/// more likely a config-generation bug than intent, and without a ceiling
+/// the registry would chase it through unbounded recursion.
+constexpr std::size_t kMaxPurgeDepth = 4;
+
+/// Counts leading purge: layers and strips them from `name` in place.
+std::size_t strip_purge_layers(std::string& name) {
+  std::size_t depth = 0;
+  while (name.rfind(kPurgePrefix, 0) == 0) {
+    ++depth;
+    name = name.substr(6);
+  }
+  return depth;
+}
+
 std::string known_backends_message() {
   std::string names;
   for (const std::string& name : reputation_backend_names()) {
@@ -83,11 +100,13 @@ std::vector<std::string> reputation_backend_names() {
 }
 
 bool reputation_backend_exists(const std::string& name) {
-  if (name == "purge") return true;
-  if (name.rfind(kPurgePrefix, 0) == 0) {
-    return reputation_backend_exists(name.substr(6));
-  }
-  return find_factory(name) != nullptr;
+  std::string base = name;
+  std::size_t depth = strip_purge_layers(base);
+  if (base == "purge") ++depth;  // trailing bare decorator over gamma
+  if (depth > kMaxPurgeDepth) return false;
+  if (depth > 0 && base.empty()) return false;  // trailing "purge:"
+  if (base == "purge") return true;
+  return find_factory(base) != nullptr;
 }
 
 std::unique_ptr<ReputationPolicy> make_reputation_policy(
@@ -95,16 +114,28 @@ std::unique_ptr<ReputationPolicy> make_reputation_policy(
   GT_REQUIRE(params.entities > 0, "need at least one entity");
   GT_REQUIRE(params.contexts > 0, "need at least one context");
   // "purge" decorates the default gamma backend; "purge:<base>" composes
-  // recursively over any resolvable base.
-  if (name == "purge" || name.rfind(kPurgePrefix, 0) == 0) {
-    const std::string base = name == "purge" ? "gamma" : name.substr(6);
-    return std::make_unique<PurgingReputationPolicy>(
-        make_reputation_policy(base, params), params.purge);
+  // over any resolvable base, up to kMaxPurgeDepth stacked layers.
+  std::string base = name;
+  std::size_t depth = strip_purge_layers(base);
+  if (base == "purge") {  // trailing bare decorator over the default base
+    base = "gamma";
+    ++depth;
   }
-  const ReputationFactory factory = find_factory(name);
-  GT_REQUIRE(factory != nullptr, "unknown reputation backend: " + name +
+  GT_REQUIRE(depth <= kMaxPurgeDepth,
+             "purge composite nested too deeply: '" + name + "' (" +
+                 std::to_string(depth) + " layers, max " +
+                 std::to_string(kMaxPurgeDepth) + ")");
+  GT_REQUIRE(!(depth > 0 && base.empty()),
+             "invalid purge composite: '" + name + "' names no base backend");
+  const ReputationFactory factory = find_factory(base);
+  GT_REQUIRE(factory != nullptr, "unknown reputation backend: " + base +
                                      " (" + known_backends_message() + ")");
-  return factory(params);
+  std::unique_ptr<ReputationPolicy> policy = factory(params);
+  for (std::size_t layer = 0; layer < depth; ++layer) {
+    policy = std::make_unique<PurgingReputationPolicy>(std::move(policy),
+                                                       params.purge);
+  }
+  return policy;
 }
 
 std::unique_ptr<ReputationPolicy> make_reputation_policy(

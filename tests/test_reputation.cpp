@@ -92,6 +92,92 @@ TEST(ReputationRegistry, ResolvesCompositesRecursively) {
                PreconditionError);
 }
 
+TEST(ReputationRegistry, PurgeCompositesStackUpToTheDepthCeiling) {
+  const auto params = params_for(4, 1);
+  EXPECT_EQ(make_reputation_policy("purge:purge:gamma", params)->name(),
+            "purge:purge:gamma");
+  EXPECT_EQ(
+      make_reputation_policy("purge:purge:purge:purge:beta", params)->name(),
+      "purge:purge:purge:purge:beta");
+  // Legacy shorthand: a trailing bare "purge" decorates the default gamma.
+  EXPECT_EQ(make_reputation_policy("purge:purge", params)->name(),
+            "purge:purge:gamma");
+  EXPECT_TRUE(reputation_backend_exists("purge:purge:purge:purge:gamma"));
+}
+
+TEST(ReputationRegistry, RejectsOverDeepPurgeComposites) {
+  const auto params = params_for(4, 1);
+  const std::string deep = "purge:purge:purge:purge:purge:gamma";  // 5 layers
+  EXPECT_FALSE(reputation_backend_exists(deep));
+  try {
+    (void)make_reputation_policy(deep, params);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("nested too deeply"),
+              std::string::npos)
+        << e.what();
+  }
+  // A dangling prefix names no base backend at all.
+  EXPECT_FALSE(reputation_backend_exists("purge:"));
+  EXPECT_THROW((void)make_reputation_policy("purge:", params),
+               PreconditionError);
+  // Scenario validation rejects the over-deep name before any run starts.
+  EXPECT_THROW((void)sim::ScenarioBuilder()
+                   .tasks(4)
+                   .heuristic("mct")
+                   .with_reputation_backend(deep)
+                   .build(),
+               PreconditionError);
+}
+
+TEST(ReputationRegistry, SetOverrideParsesDottedNumericAssignments) {
+  ReputationBackendConfig config;
+  config.name = "purge:gamma";
+  config.set_override("purge.deviation_threshold=2.5");
+  config.set_override("gamma.default_score=3");
+  EXPECT_EQ(config.params.at("purge.deviation_threshold"), 2.5);
+  EXPECT_EQ(config.params.at("gamma.default_score"), 3.0);
+}
+
+TEST(ReputationRegistry, SetOverrideRejectsMalformedAssignments) {
+  ReputationBackendConfig config;
+  try {
+    config.set_override("gamma.default_score");  // no '='
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected key=value"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    config.set_override("gamma.default_score=fast");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("is not a number"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(config.set_override("=1.5"), PreconditionError);
+  // Trailing junk after a valid numeric prefix is rejected too.
+  EXPECT_THROW(config.set_override("gamma.alpha=1.5x"), PreconditionError);
+  EXPECT_TRUE(config.params.empty());  // failed overrides leave no residue
+}
+
+TEST(ReputationRegistry, UnknownOverrideKeyIsRejectedAtConstruction) {
+  ReputationBackendConfig config;
+  config.name = "gamma";
+  config.set_override("bogus.key=1");  // parses fine; key checked later
+  try {
+    (void)make_reputation_policy(config, TrustEngineConfig{}, 3, 1);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("unknown reputation backend parameter"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ReputationRegistry, RejectsDuplicateAndReservedRegistrations) {
   EXPECT_THROW(register_reputation_backend(
                    "gamma",
@@ -498,6 +584,48 @@ TEST(SchedPolicyPricing, BridgeOverloadMatchesTheRefreshedTable) {
         for (std::size_t act = 0; act < n_act; ++act) {
           t += 1.0;
           bridge.observe_client_side(cd, rd, act, t, 4.0 + (rd % 2));
+          bridge.observe_resource_side(rd, cd, act, t, 5.0);
+        }
+      }
+    }
+  }
+  TrustLevelTable table(n_cd, n_rd, n_act);
+  bridge.refresh(table, t);
+
+  const auto requests = workload::generate_requests(grid, 12, {}, rng);
+  const sched::SecurityCostModel model;
+  const auto from_table =
+      sched::compute_trust_costs(grid, requests, table, model);
+  const auto from_policy =
+      sched::compute_trust_costs(grid, requests, bridge, t, model);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    for (std::size_t m = 0; m < grid.machines().size(); ++m) {
+      EXPECT_EQ(from_table.get(r, m), from_policy.get(r, m))
+          << "request " << r << " machine " << m;
+    }
+  }
+}
+
+TEST(SchedPolicyPricing, BridgeOverloadWorksWithNonGammaBackends) {
+  Rng rng(33);
+  grid::RandomGridParams grid_params;
+  grid_params.machines = 4;
+  const grid::GridSystem grid = grid::make_random_grid(grid_params, rng);
+  const std::size_t n_cd = grid.client_domains().size();
+  const std::size_t n_rd = grid.resource_domains().size();
+  const std::size_t n_act = grid.activities().size();
+
+  DomainTrustBridge bridge(
+      make_reputation_policy("beta", params_for(n_cd + n_rd, n_act)), n_cd,
+      n_rd, n_act, /*min_transactions=*/1);
+  double t = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t cd = 0; cd < n_cd; ++cd) {
+      for (std::size_t rd = 0; rd < n_rd; ++rd) {
+        for (std::size_t act = 0; act < n_act; ++act) {
+          t += 1.0;
+          bridge.observe_client_side(
+              cd, rd, act, t, 3.0 + static_cast<double>((cd + rd) % 3));
           bridge.observe_resource_side(rd, cd, act, t, 5.0);
         }
       }
