@@ -1,14 +1,41 @@
 // Microbenchmarks (google-benchmark): discrete-event kernel throughput —
-// schedule/execute cycles, cancellation cost, and Poisson arrival driving.
+// schedule/execute cycles, cancellation cost, Poisson arrival driving, and
+// the grid-scale tiers (des/scale.hpp) on both the production calendar
+// kernel and the frozen pre-rework heap kernel, so BENCH_des.json carries
+// the before/after events/sec on identical hardware.  Grid-scale rows also
+// report peak RSS (max_rss_mb).  The huge tier (~2M events) is manual:
+// set GRIDTRUST_BENCH_HUGE=1 (see docs/performance.md).
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/rng.hpp"
 #include "des/arrival.hpp"
+#include "des/scale.hpp"
 #include "des/simulator.hpp"
 
 namespace {
 
 using namespace gridtrust;
+
+/// Peak resident set size of this process, in MiB (0 when unavailable).
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 void BM_ScheduleAndRun(benchmark::State& state) {
   const auto events = static_cast<std::size_t>(state.range(0));
@@ -74,6 +101,69 @@ void BM_PoissonDrive(benchmark::State& state) {
                           static_cast<std::int64_t>(arrivals));
 }
 
+// Grid-scale tiers.  Arg(0)=small, Arg(1)=medium, Arg(2)=huge; each tier
+// runs the same deterministic workload (Poisson arrivals, probe-and-commit
+// placement, trust-EWMA completions) end to end.  items_per_second is
+// kernel events/sec; digest is asserted between kernels by the conformance
+// suite, not here.
+des::ScaleScenarioParams tier_params(std::int64_t tier) {
+  switch (tier) {
+    case 0:
+      return des::small_scale();
+    case 1:
+      return des::medium_scale();
+    default:
+      return des::huge_scale();
+  }
+}
+
+template <des::ScaleResult (*RunFn)(des::ScaleScenario&)>
+void BM_GridScaleImpl(benchmark::State& state) {
+  const des::ScaleScenarioParams params = tier_params(state.range(0));
+  std::uint64_t events = 0;
+  std::size_t pending_peak = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // scenario (re)generation is not kernel work
+    des::ScaleScenario scenario = des::generate_scale_scenario(params);
+    state.ResumeTiming();
+    const des::ScaleResult result = RunFn(scenario);
+    events = result.events;
+    pending_peak = result.max_queue_depth;
+    benchmark::DoNotOptimize(result.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.counters["max_rss_mb"] = peak_rss_mb();
+  state.counters["pending_peak"] = static_cast<double>(pending_peak);
+}
+
+void BM_GridScale(benchmark::State& state) {
+  BM_GridScaleImpl<&des::run_scale_scenario>(state);
+}
+
+void BM_GridScaleOldKernel(benchmark::State& state) {
+  BM_GridScaleImpl<&des::run_scale_scenario_reference>(state);
+}
+
+bool huge_tier_enabled() {
+  const char* flag = std::getenv("GRIDTRUST_BENCH_HUGE");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+void register_grid_scale() {
+  auto* production =
+      benchmark::RegisterBenchmark("BM_GridScale", BM_GridScale);
+  auto* reference =
+      benchmark::RegisterBenchmark("BM_GridScaleOldKernel",
+                                   BM_GridScaleOldKernel);
+  production->Arg(0)->Arg(1);
+  reference->Arg(0)->Arg(1);
+  if (huge_tier_enabled()) {
+    production->Arg(2);
+    reference->Arg(2);
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(100000);
@@ -81,4 +171,11 @@ BENCHMARK(BM_SelfRescheduling)->Arg(100000);
 BENCHMARK(BM_CancelHalf)->Arg(100000);
 BENCHMARK(BM_PoissonDrive)->Arg(100000);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_grid_scale();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

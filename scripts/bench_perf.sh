@@ -6,8 +6,13 @@
 #
 # Defaults: build dir `build`, benches `des econ`.  Each bench_perf_<name>
 # binary runs with --benchmark_out so the JSON is the benchmark library's own
-# format (context + per-benchmark real/cpu time and items_per_second).
-# Timings are machine-dependent — the JSONs are trend data, not a CI gate.
+# format (context + per-benchmark real/cpu time and items_per_second; the
+# grid-scale DES rows also carry max_rss_mb / pending_peak counters).
+# Timings are machine-dependent — the JSONs are trend data; CI only gates
+# large relative regressions (scripts/check_perf_regression.py).
+#
+# The huge DES tier (~2M events per run, both kernels) stays manual:
+#   GRIDTRUST_BENCH_HUGE=1 scripts/bench_perf.sh build des
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

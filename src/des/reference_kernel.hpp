@@ -1,0 +1,171 @@
+// The pre-calendar-queue DES kernel, frozen as an executable specification.
+//
+// This is the PR 7 Simulator verbatim (binary heap + unordered lookaside
+// maps for actions and cancellations), minus the metrics plumbing.  It
+// exists for two reasons:
+//
+//   1. Conformance: tests drive randomized workloads through both kernels
+//      and require identical execution orders and digests — the calendar
+//      queue must reproduce this kernel's (time, seq) total order exactly.
+//   2. Benchmarking: bench_perf_des runs the grid-scale workload on both
+//      kernels in the same binary, so BENCH_des.json carries the measured
+//      before/after events/sec on identical hardware (docs/performance.md).
+//
+// Do not "fix" or optimize this class; its value is being the old kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "des/event_queue.hpp"  // SimTime
+
+namespace gridtrust::des {
+
+/// The old event-queue simulator (see file comment).  API mirrors the
+/// scheduling subset of des::Simulator so drivers can be templated over
+/// either kernel.
+class ReferenceKernelSimulator {
+ public:
+  ReferenceKernelSimulator() = default;
+  ReferenceKernelSimulator(const ReferenceKernelSimulator&) = delete;
+  ReferenceKernelSimulator& operator=(const ReferenceKernelSimulator&) = delete;
+
+  SimTime now() const { return now_; }
+  std::uint64_t executed_events() const { return executed_; }
+  std::size_t pending_events() const {
+    return heap_.size() - cancelled_.size();
+  }
+  std::uint64_t scheduled_events() const { return scheduled_; }
+  std::uint64_t cancelled_events() const { return cancelled_count_; }
+  std::size_t max_heap_depth() const { return max_heap_depth_; }
+
+  std::uint64_t schedule_at(SimTime time, std::function<void()> action,
+                            const char* type = nullptr) {
+    GT_REQUIRE(action != nullptr, "cannot schedule an empty action");
+    GT_REQUIRE(time >= now_, "cannot schedule an event in the past");
+    (void)type;  // the reference kernel never publishes metrics
+    const std::uint64_t id = next_id_++;
+    heap_.push(Entry{time, next_seq_++, id});
+    actions_.emplace(id, std::move(action));
+    ++scheduled_;
+    if (heap_.size() > max_heap_depth_) max_heap_depth_ = heap_.size();
+    return id;
+  }
+
+  std::uint64_t schedule_in(SimTime delay, std::function<void()> action,
+                            const char* type = nullptr) {
+    GT_REQUIRE(delay >= 0.0, "delay must be non-negative");
+    return schedule_at(now_ + delay, std::move(action), type);
+  }
+
+  bool cancel(std::uint64_t id) {
+    auto it = actions_.find(id);
+    if (it == actions_.end()) return false;
+    actions_.erase(it);
+    cancelled_.insert(id);
+    ++cancelled_count_;
+    return true;
+  }
+
+  bool step() {
+    Entry entry;
+    if (!pop_next(entry)) return false;
+    GT_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    execute(entry);
+    return true;
+  }
+
+  void run(std::uint64_t max_events = 0) {
+    std::uint64_t budget = max_events;
+    while (step()) {
+      if (max_events != 0 && --budget == 0) break;
+    }
+  }
+
+  void run_until(SimTime until) {
+    GT_REQUIRE(until >= now_, "run_until target is in the past");
+    for (;;) {
+      Entry entry;
+      if (!pop_next(entry)) break;
+      if (entry.time > until) {
+        heap_.push(entry);  // put it back; it runs on a later call
+        now_ = until;
+        return;
+      }
+      now_ = entry.time;
+      execute(entry);
+    }
+    now_ = until;
+  }
+
+  void reset() {
+    heap_ = {};
+    cancelled_.clear();
+    actions_.clear();
+    now_ = 0.0;
+    next_seq_ = 0;
+    executed_ = 0;
+    scheduled_ = 0;
+    cancelled_count_ = 0;
+    max_heap_depth_ = 0;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Entry& out) {
+    while (!heap_.empty()) {
+      Entry entry = heap_.top();
+      heap_.pop();
+      auto cancelled_it = cancelled_.find(entry.id);
+      if (cancelled_it != cancelled_.end()) {
+        cancelled_.erase(cancelled_it);
+        continue;
+      }
+      out = entry;
+      return true;
+    }
+    return false;
+  }
+
+  void execute(const Entry& entry) {
+    auto it = actions_.find(entry.id);
+    GT_ASSERT(it != actions_.end());
+    // Move the action out before invoking: the action may schedule or
+    // cancel other events, invalidating iterators into actions_.
+    std::function<void()> action = std::move(it->second);
+    actions_.erase(it);
+    ++executed_;
+    action();
+  }
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::size_t max_heap_depth_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Determinism audit (gt-lint GT002): key-lookup only, never iterated.
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, std::function<void()>> actions_;
+};
+
+}  // namespace gridtrust::des

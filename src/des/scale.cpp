@@ -1,0 +1,218 @@
+#include "des/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "des/reference_kernel.hpp"
+
+namespace gridtrust::des {
+
+namespace {
+
+// Seed-derivation tags for the generator's independent RNG streams
+// (common/rng.hpp derive_seed keeps raw constants out of call sites).
+constexpr std::uint64_t kDomainStreamTag = 0x5ca1ab1e;
+constexpr std::uint64_t kArrivalStreamTag = 0xa11d0e5;
+constexpr std::uint64_t kOutcomeStreamTag = 0x0b5e7ed;
+
+// FNV-1a, matching the lab engine's content-hash convention.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_mix(std::uint64_t digest, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    digest ^= (value >> (byte * 8)) & 0xffu;
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+void ScaleScenarioParams::validate() const {
+  GT_REQUIRE(tasks > 0, "scale scenario needs at least one task");
+  GT_REQUIRE(machines > 0, "scale scenario needs at least one machine");
+  GT_REQUIRE(domains > 0 && domains <= machines,
+             "domains must be in [1, machines]");
+  GT_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  GT_REQUIRE(mean_service > 0.0, "mean service time must be positive");
+  GT_REQUIRE(probes > 0, "need at least one probe per task");
+}
+
+ScaleScenarioParams small_scale() {
+  ScaleScenarioParams p;
+  p.tasks = 10000;
+  p.machines = 100;
+  p.domains = 10;
+  p.arrival_rate = 200.0;
+  return p;
+}
+
+ScaleScenarioParams medium_scale() {
+  ScaleScenarioParams p;
+  p.tasks = 100000;
+  p.machines = 1000;
+  p.domains = 100;
+  p.arrival_rate = 2000.0;
+  return p;
+}
+
+ScaleScenarioParams huge_scale() {
+  ScaleScenarioParams p;
+  p.tasks = 1000000;
+  p.machines = 10000;
+  p.domains = 1000;
+  p.arrival_rate = 20000.0;
+  return p;
+}
+
+ScaleScenario generate_scale_scenario(const ScaleScenarioParams& params) {
+  params.validate();
+  ScaleScenario s;
+  s.params = params;
+  s.machine_domain.resize(params.machines);
+  s.machine_available.assign(params.machines, 0.0);
+  s.domain_trust.resize(params.domains);
+  s.domain_speed.resize(params.domains);
+
+  // Per-domain attributes: each domain has its own derived RNG stream, so
+  // the values are independent of both the worker count and the chunking.
+  // parallel_for falls back to inline execution when already on a pool
+  // worker, which is what makes this safe to call from inside a sweep.
+  ThreadPool::shared().parallel_for(params.domains, [&](std::size_t d) {
+    Rng rng(derive_seed(kDomainStreamTag, {params.seed, d}));
+    s.domain_trust[d] = rng.uniform(1.0, 6.0);
+    s.domain_speed[d] = rng.uniform(0.5, 2.0);
+  });
+
+  // Machines partition into contiguous per-domain blocks (block sizes as
+  // even as possible); index arithmetic below is branch-free per machine.
+  const std::size_t base = params.machines / params.domains;
+  const std::size_t extra = params.machines % params.domains;
+  std::size_t next = 0;
+  for (std::size_t d = 0; d < params.domains; ++d) {
+    const std::size_t count = base + (d < extra ? 1 : 0);
+    for (std::size_t m = 0; m < count; ++m) {
+      s.machine_domain[next++] = static_cast<std::uint32_t>(d);
+    }
+  }
+  GT_ASSERT(next == params.machines);
+  return s;
+}
+
+namespace {
+
+// The driver is templated over the kernel so the same workload can run on
+// the production Simulator and on the frozen pre-rework kernel: digest
+// equality is the system-level conformance check, and the throughput ratio
+// is the before/after row in docs/performance.md.
+template <class SimT>
+ScaleResult run_scale_on(ScaleScenario& scenario) {
+  scenario.params.validate();
+  GT_REQUIRE(scenario.machine_domain.size() == scenario.params.machines &&
+                 scenario.machine_available.size() == scenario.params.machines &&
+                 scenario.domain_trust.size() == scenario.params.domains,
+             "scenario state does not match its params (re-generate)");
+  const ScaleScenarioParams& p = scenario.params;
+
+  SimT sim;
+  Rng arrivals(derive_seed(kArrivalStreamTag, {p.seed}));
+  ScaleResult result;
+  result.digest = kFnvOffset;
+  std::uint64_t dispatched = 0;
+
+  // Shared state reached through one pointer from event closures (keeps
+  // their captures within InlineAction's inline buffer).
+  struct Ctx {
+    ScaleScenario* scenario;
+    ScaleResult* result;
+    const ScaleScenarioParams* params;
+  } ctx{&scenario, &result, &p};
+
+  // One task: probe a few machines (splitmix-derived, so the probe set is
+  // a pure function of seed and task id), commit to the earliest-available
+  // probe, then complete after a trust-and-speed-scaled service time.
+  std::function<void(std::uint64_t)> arrive = [&](std::uint64_t task) {
+    std::uint64_t probe_state = derive_seed(p.seed, {task});
+    std::size_t best = splitmix64(probe_state) % p.machines;
+    for (std::size_t k = 1; k < p.probes; ++k) {
+      const std::size_t candidate = splitmix64(probe_state) % p.machines;
+      if (scenario.machine_available[candidate] <
+          scenario.machine_available[best]) {
+        best = candidate;
+      }
+    }
+    const std::uint32_t domain = scenario.machine_domain[best];
+    // Low-trust domains get shorter leases (mirroring trust-aware cost
+    // inflation); service scales with the domain's speed factor.
+    Rng task_rng(probe_state);
+    const double service = task_rng.exponential(p.mean_service) /
+                           scenario.domain_speed[domain] *
+                           (7.0 - scenario.domain_trust[domain]) / 3.5;
+    const double start =
+        std::max(sim.now(), scenario.machine_available[best]);
+    const double done = start + service;
+    scenario.machine_available[best] = done;
+    // Captures are squeezed through one context pointer so the completion
+    // closure fits InlineAction's buffer: a million in-flight completions
+    // then cost zero heap allocations on the production kernel.
+    sim.schedule_at(
+        done, [c = &ctx, task, done, machine = static_cast<std::uint32_t>(best),
+               domain] {
+          // Completion observes a noisy outcome and folds it into the
+          // domain's trust EWMA — the SoA analogue of the trust engine's
+          // record path.
+          std::uint64_t outcome_state =
+              derive_seed(kOutcomeStreamTag, {c->params->seed, task});
+          const double observed =
+              1.0 + static_cast<double>(splitmix64(outcome_state) % 6);
+          double& trust = c->scenario->domain_trust[domain];
+          trust = 0.95 * trust + 0.05 * observed;
+          ScaleResult& r = *c->result;
+          ++r.tasks_completed;
+          r.makespan = std::max(r.makespan, done);
+          r.digest = fnv1a_mix(r.digest, task);
+          r.digest = fnv1a_mix(r.digest, machine);
+          r.digest = fnv1a_mix(r.digest, double_bits(done));
+        });
+    ++dispatched;
+    if (dispatched < p.tasks) {
+      const std::uint64_t next_task = dispatched;
+      sim.schedule_in(arrivals.exponential(1.0 / p.arrival_rate),
+                      [&, next_task] { arrive(next_task); });
+    }
+  };
+  sim.schedule_in(arrivals.exponential(1.0 / p.arrival_rate),
+                  [&] { arrive(0); });
+  sim.run();
+
+  result.events = sim.executed_events();
+  result.max_queue_depth = sim.max_heap_depth();
+  double trust_sum = 0.0;
+  for (const double t : scenario.domain_trust) trust_sum += t;
+  result.mean_trust = trust_sum / static_cast<double>(p.domains);
+  return result;
+}
+
+}  // namespace
+
+ScaleResult run_scale_scenario(ScaleScenario& scenario) {
+  return run_scale_on<Simulator>(scenario);
+}
+
+ScaleResult run_scale_scenario_reference(ScaleScenario& scenario) {
+  return run_scale_on<ReferenceKernelSimulator>(scenario);
+}
+
+}  // namespace gridtrust::des

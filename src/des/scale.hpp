@@ -1,0 +1,93 @@
+// Synthetic grid-scale DES workloads (the million-entity tier).
+//
+// The paper's simulations top out at hundreds of machines; the ROADMAP
+// north star is millions of entities.  ScaleScenario generates a synthetic
+// grid — machines partitioned into domains, tasks arriving in a Poisson
+// stream, each task probing a few machines and committing to the least
+// loaded — entirely on SoA state arrays, and drives it through the kernel.
+// It is the workload behind the small/medium/huge tiers of bench_perf_des
+// and the regression gate in scripts/check_perf_regression.py (see
+// docs/performance.md).
+//
+// Everything is deterministic in the seed: the result carries an
+// order-sensitive FNV-1a digest over (task, machine, completion-time bits)
+// so two runs — or two queue disciplines — can be compared bit-exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace gridtrust::des {
+
+/// Parameters of a synthetic grid-scale workload.
+struct ScaleScenarioParams {
+  std::size_t tasks = 10000;
+  std::size_t machines = 100;
+  std::size_t domains = 10;
+  /// Poisson arrival rate (tasks/second).
+  double arrival_rate = 100.0;
+  /// Mean service time (seconds; drawn exponentially per task).
+  double mean_service = 2.0;
+  /// Machines probed per task (power-of-two choices); the task commits to
+  /// the probe with the earliest availability.
+  std::size_t probes = 4;
+  std::uint64_t seed = 1;
+
+  /// Throws PreconditionError unless all dimensions are positive and
+  /// machines >= domains.
+  void validate() const;
+};
+
+/// Preset tiers.  small runs in CI; medium is the tracked BENCH_des.json
+/// workload; huge (~10^6 tasks x 10^4 machines x 10^3 domains) is manual.
+ScaleScenarioParams small_scale();
+ScaleScenarioParams medium_scale();
+ScaleScenarioParams huge_scale();
+
+/// The generated grid, hot state laid out as structures-of-arrays: the
+/// event loop touches these dense vectors, never an object graph.
+struct ScaleScenario {
+  ScaleScenarioParams params;
+  /// machine -> owning domain (contiguous block partition).
+  std::vector<std::uint32_t> machine_domain;
+  /// machine -> time the machine frees up (mutated by the run).
+  std::vector<double> machine_available;
+  /// domain -> continuous trust score in [1, 6] (EWMA, mutated by the run).
+  std::vector<double> domain_trust;
+  /// domain -> relative service-speed factor (generated, read-only).
+  std::vector<double> domain_speed;
+};
+
+/// Builds the SoA state for `params`.  Initialization fans out over
+/// ThreadPool::shared()::parallel_for with per-chunk derived RNG streams,
+/// so the result is identical at any worker count — and, because nested
+/// parallel_for calls fall back to inline execution, generating a scenario
+/// from inside a sweep worker cannot deadlock (asserted by tests).
+ScaleScenario generate_scale_scenario(const ScaleScenarioParams& params);
+
+/// Outcome of driving a ScaleScenario through the kernel.
+struct ScaleResult {
+  std::uint64_t events = 0;          ///< kernel events executed
+  std::uint64_t tasks_completed = 0;
+  double makespan = 0.0;             ///< last completion time
+  double mean_trust = 0.0;           ///< mean final domain trust
+  std::size_t max_queue_depth = 0;   ///< deepest pending-event set
+  /// Order-sensitive FNV-1a digest of every completion; equal digests mean
+  /// the two runs executed the same events in the same order with the same
+  /// state — the cross-kernel determinism check.
+  std::uint64_t digest = 0;
+};
+
+/// Drives the scenario to completion on a fresh Simulator.  Mutates the
+/// scenario's availability/trust arrays (re-generate to re-run).
+ScaleResult run_scale_scenario(ScaleScenario& scenario);
+
+/// Same workload on the frozen pre-rework kernel (reference_kernel.hpp):
+/// must produce the same digest as run_scale_scenario (conformance), and
+/// is the before-side of the before/after rows in BENCH_des.json.
+ScaleResult run_scale_scenario_reference(ScaleScenario& scenario);
+
+}  // namespace gridtrust::des

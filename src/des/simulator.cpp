@@ -1,5 +1,6 @@
 #include "des/simulator.hpp"
 
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -39,16 +40,19 @@ const obs::Histogram& event_type_histogram(const char* type) {
 
 Simulator::~Simulator() { publish_metrics(); }
 
-EventId Simulator::schedule_at(SimTime time, std::function<void()> action,
-                               const char* type) {
-  GT_REQUIRE(action != nullptr, "cannot schedule an empty action");
+EventNode* Simulator::schedule_node(SimTime time, const char* type) {
   GT_REQUIRE(time >= now_, "cannot schedule an event in the past");
-  const EventId id = next_id_++;
-  heap_.push(Entry{time, next_seq_++, id});
-  actions_.emplace(id, Pending{std::move(action), type});
+  const PoolHandle h = pool_.allocate();
+  EventNode& node = pool_.get(h);
+  node.time = time;
+  node.seq = next_seq_++;
+  node.self = h;
+  node.type = type;
+  node.cancelled = false;
+  queue_.push(&node);
   ++scheduled_;
-  if (heap_.size() > max_heap_depth_) max_heap_depth_ = heap_.size();
-  return id;
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  return &node;
 }
 
 EventId Simulator::schedule_in(SimTime delay, std::function<void()> action,
@@ -58,51 +62,64 @@ EventId Simulator::schedule_in(SimTime delay, std::function<void()> action,
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = actions_.find(id);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
-  cancelled_.insert(id);
+  if (!pool_.valid(id)) return false;
+  EventNode& node = pool_.get(id);
+  if (node.cancelled) return false;
+  // Lazy cancellation: the node stays linked in the calendar and is
+  // recycled when the cursor reaches it.  Drop the closure now so captured
+  // resources are released at cancel time, as with the old eager erase.
+  node.cancelled = true;
+  node.action.reset();
   ++cancelled_count_;
+  ++cancelled_pending_;
   return true;
 }
 
-bool Simulator::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    Entry entry = heap_.top();
-    heap_.pop();
-    auto cancelled_it = cancelled_.find(entry.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
+EventNode* Simulator::pop_live(SimTime bound) {
+  while (EventNode* node = queue_.pop_if_at_most(bound)) {
+    if (node->cancelled) {
+      --cancelled_pending_;
+      pool_.release(node->self);
       continue;
     }
-    out = entry;
-    return true;
+    return node;
   }
-  return false;
+  return nullptr;
 }
 
-void Simulator::execute(const Entry& entry) {
-  auto it = actions_.find(entry.id);
-  GT_ASSERT(it != actions_.end());
-  // Move the action out before invoking: the action may schedule or cancel
-  // other events, invalidating iterators into actions_.
-  Pending pending = std::move(it->second);
-  actions_.erase(it);
+void Simulator::execute(EventNode* node) {
+  // Move the payload out and recycle the node before invoking: the action
+  // may schedule new events, and those may legitimately reuse this slot.
+  InlineAction action;
+  node->action.relocate_to(action);
+  const char* type = node->type;
+  pool_.release(node->self);
   ++executed_;
-  if (pending.type != nullptr && obs::registry() != nullptr) {
-    obs::ScopedTimer timer(event_type_histogram(pending.type));
-    pending.action();
+  if (type != nullptr && obs::registry() != nullptr) {
+    const void* histogram = nullptr;
+    for (const auto& [label, cached] : type_cache_) {
+      if (label == type) {
+        histogram = cached;
+        break;
+      }
+    }
+    if (histogram == nullptr) {
+      histogram = &event_type_histogram(type);
+      type_cache_.emplace_back(type, histogram);
+    }
+    obs::ScopedTimer timer(*static_cast<const obs::Histogram*>(histogram));
+    action.invoke();
   } else {
-    pending.action();
+    action.invoke();
   }
 }
 
 bool Simulator::step() {
-  Entry entry;
-  if (!pop_next(entry)) return false;
-  GT_ASSERT(entry.time >= now_);
-  now_ = entry.time;
-  execute(entry);
+  EventNode* node = pop_live(std::numeric_limits<double>::infinity());
+  if (node == nullptr) return false;
+  GT_ASSERT(node->time >= now_);
+  now_ = node->time;
+  execute(node);
   return true;
 }
 
@@ -116,18 +133,9 @@ void Simulator::run(std::uint64_t max_events) {
 
 void Simulator::run_until(SimTime until) {
   GT_REQUIRE(until >= now_, "run_until target is in the past");
-  for (;;) {
-    Entry entry;
-    if (!pop_next(entry)) break;
-    if (entry.time > until) {
-      // Put it back; it runs on a later call.
-      heap_.push(entry);
-      now_ = until;
-      publish_metrics();
-      return;
-    }
-    now_ = entry.time;
-    execute(entry);
+  while (EventNode* node = pop_live(until)) {
+    now_ = node->time;
+    execute(node);
   }
   now_ = until;
   publish_metrics();
@@ -135,15 +143,15 @@ void Simulator::run_until(SimTime until) {
 
 void Simulator::reset() {
   publish_metrics();
-  heap_ = {};
-  cancelled_.clear();
-  actions_.clear();
+  queue_.clear();
+  pool_.reset();
   now_ = 0.0;
   next_seq_ = 0;
   executed_ = 0;
   scheduled_ = 0;
   cancelled_count_ = 0;
-  max_heap_depth_ = 0;
+  cancelled_pending_ = 0;
+  max_queue_depth_ = 0;
   published_ = {};
 }
 
@@ -152,7 +160,7 @@ void Simulator::publish_metrics() {
   kExecuted.add(static_cast<double>(executed_ - published_.executed));
   kScheduled.add(static_cast<double>(scheduled_ - published_.scheduled));
   kCancelled.add(static_cast<double>(cancelled_count_ - published_.cancelled));
-  kHeapDepthMax.set(static_cast<double>(max_heap_depth_));
+  kHeapDepthMax.set(static_cast<double>(max_queue_depth_));
   kPending.set(static_cast<double>(pending_events()));
   published_ = {executed_, scheduled_, cancelled_count_};
 }

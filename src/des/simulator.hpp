@@ -5,19 +5,26 @@
 // runs with the same seed replay identically.  All gridtrust simulations
 // (the TRMS scheduling study and the network-transfer study) run on this
 // kernel.
+//
+// Internals (docs/performance.md has the full story): events live in a slab
+// pool (common/arena.hpp) and are ordered by a calendar queue
+// (des/event_queue.hpp) with O(1) amortized schedule/dequeue, replacing the
+// original binary heap + hash-map design.  The observable contract —
+// execution order, EventId cancellation semantics, counters, metrics keys —
+// is unchanged, and the (time, seq) total order is bit-identical.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
-namespace gridtrust::des {
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "des/event_queue.hpp"
 
-/// Simulation time in seconds since the start of the run.
-using SimTime = double;
+namespace gridtrust::des {
 
 /// Opaque handle identifying a scheduled event (for cancellation).
 using EventId = std::uint64_t;
@@ -38,7 +45,7 @@ class Simulator {
   std::uint64_t executed_events() const { return executed_; }
 
   /// Number of events currently pending (cancelled events excluded).
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return queue_.size() - cancelled_pending_; }
 
   /// Number of events scheduled so far (including cancelled ones).
   std::uint64_t scheduled_events() const { return scheduled_; }
@@ -46,17 +53,39 @@ class Simulator {
   /// Number of events cancelled so far.
   std::uint64_t cancelled_events() const { return cancelled_count_; }
 
-  /// Deepest the event heap has ever been (cancelled entries included).
-  std::size_t max_heap_depth() const { return max_heap_depth_; }
+  /// Deepest the event queue has ever been (cancelled entries included).
+  std::size_t max_heap_depth() const { return max_queue_depth_; }
 
   /// Schedules `action` at absolute time `time` (must be >= now()).  `type`
   /// optionally labels the event for per-type execution-time metrics
   /// (`des.event_ns.<type>`); it must be a string literal or otherwise
   /// outlive the simulator.  Unlabelled events are never timed.
+  ///
+  /// The callable is stored inside the pool-allocated event node (see
+  /// InlineAction): lambdas with captures up to InlineAction::kBufSize
+  /// bytes schedule without any heap allocation.
+  template <class F,
+            class = std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>>>
+  EventId schedule_at(SimTime time, F action, const char* type = nullptr) {
+    EventNode* node = schedule_node(time, type);
+    node->action.emplace(std::move(action));
+    return node->self;
+  }
   EventId schedule_at(SimTime time, std::function<void()> action,
-                      const char* type = nullptr);
+                      const char* type = nullptr) {
+    GT_REQUIRE(action != nullptr, "cannot schedule an empty action");
+    EventNode* node = schedule_node(time, type);
+    node->action.emplace(std::move(action));
+    return node->self;
+  }
 
   /// Schedules `action` after `delay` seconds (must be >= 0).
+  template <class F,
+            class = std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>>>
+  EventId schedule_in(SimTime delay, F action, const char* type = nullptr) {
+    GT_REQUIRE(delay >= 0.0, "delay must be non-negative");
+    return schedule_at(now_ + delay, std::move(action), type);
+  }
   EventId schedule_in(SimTime delay, std::function<void()> action,
                       const char* type = nullptr);
 
@@ -76,7 +105,8 @@ class Simulator {
   /// time ≤ until).
   void run_until(SimTime until);
 
-  /// Discards all pending events and resets the clock to zero.
+  /// Discards all pending events and resets the clock to zero.  Event-pool
+  /// slabs are retained, so a reused simulator runs on warm memory.
   void reset();
 
   /// Publishes kernel counters (`des.events_*`, `des.heap_depth_max`,
@@ -88,39 +118,26 @@ class Simulator {
   void publish_metrics();
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // FIFO tie-break for equal times
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Validates the time, allocates and links a node (action still empty),
+  /// and updates the schedule counters.
+  EventNode* schedule_node(SimTime time, const char* type);
 
-  /// A scheduled action plus its optional metrics label.
-  struct Pending {
-    std::function<void()> action;
-    const char* type = nullptr;
-  };
+  /// Moves the popped node's payload out, recycles the node, and executes
+  /// the action (timing it into its per-type histogram when labelled and
+  /// metrics are on).
+  void execute(EventNode* node);
 
-  /// Pops the next runnable entry, skipping cancelled events.  Returns
-  /// false when the queue is exhausted.
-  bool pop_next(Entry& out);
-
-  /// Moves the entry's action out of actions_ and executes it, timing it
-  /// into its per-type histogram when labelled and metrics are on.
-  void execute(const Entry& entry);
+  /// Pops the next live (non-cancelled) node with time <= bound, recycling
+  /// skipped cancelled nodes; nullptr when none qualify.
+  EventNode* pop_live(SimTime bound);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_count_ = 0;
-  std::size_t max_heap_depth_ = 0;
+  std::size_t cancelled_pending_ = 0;
+  std::size_t max_queue_depth_ = 0;
   // Counter values already pushed to the metrics registry (publish sends
   // deltas so interleaved publishes never double-count).
   struct Published {
@@ -128,14 +145,12 @@ class Simulator {
     std::uint64_t scheduled = 0;
     std::uint64_t cancelled = 0;
   } published_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Determinism audit (gt-lint GT002): both unordered containers below are
-  // key-lookup/membership only and are never iterated, so hash order cannot
-  // influence event execution order or any exported output.  Keep it that
-  // way — iteration here would silently break manifest bit-identity.
-  std::unordered_set<EventId> cancelled_;
-  // Actions stored separately so heap entries stay trivially copyable.
-  std::unordered_map<EventId, Pending> actions_;
+  ObjectPool<EventNode> pool_;
+  CalendarQueue queue_;
+  // Per-type histogram cache, keyed by label pointer identity (labels are
+  // string literals).  Simulators are single-threaded, so this avoids the
+  // global interner's mutex on all but the first hit per label.
+  std::vector<std::pair<const char*, const void*>> type_cache_;
 };
 
 }  // namespace gridtrust::des

@@ -47,10 +47,14 @@ GridSystem::GridSystem(ActivityCatalog activities,
     GT_REQUIRE(client_domains_[i].owner < grid_domains_.size(),
                "client domain owned by an unknown grid domain");
   }
+  machine_domain_.reserve(machines_.size());
+  domain_machines_.resize(resource_domains_.size());
   for (std::size_t i = 0; i < machines_.size(); ++i) {
     GT_REQUIRE(machines_[i].id == i, "machine ids must be dense");
     GT_REQUIRE(machines_[i].resource_domain < resource_domains_.size(),
                "machine belongs to an unknown resource domain");
+    machine_domain_.push_back(machines_[i].resource_domain);
+    domain_machines_[machines_[i].resource_domain].push_back(machines_[i].id);
   }
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     GT_REQUIRE(clients_[i].id == i, "client ids must be dense");
@@ -89,18 +93,11 @@ const Machine& GridSystem::machine(MachineId id) const {
   return machines_[id];
 }
 
-ResourceDomainId GridSystem::domain_of_machine(MachineId id) const {
-  return machine(id).resource_domain;
-}
-
-std::vector<MachineId> GridSystem::machines_in(ResourceDomainId rd) const {
+const std::vector<MachineId>& GridSystem::machines_in(
+    ResourceDomainId rd) const {
   GT_REQUIRE(rd < resource_domains_.size(),
              "resource domain id out of range");
-  std::vector<MachineId> out;
-  for (const Machine& m : machines_) {
-    if (m.resource_domain == rd) out.push_back(m.id);
-  }
-  return out;
+  return domain_machines_[rd];
 }
 
 GridSystemBuilder::GridSystemBuilder(ActivityCatalog activities)

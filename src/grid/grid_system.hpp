@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "grid/activity.hpp"
 #include "grid/domain.hpp"
@@ -41,11 +42,17 @@ class GridSystem {
   const Machine& machine(MachineId id) const;
   const Client& client(ClientId id) const;
 
-  /// Resource domain a machine belongs to.
-  ResourceDomainId domain_of_machine(MachineId id) const;
+  /// Resource domain a machine belongs to.  Served from a dense
+  /// machine -> domain array (not the string-heavy Machine structs): the
+  /// scheduler, chaos, and staging layers call this per machine per tick,
+  /// and the whole index stays a few cache lines at paper scale.
+  ResourceDomainId domain_of_machine(MachineId id) const {
+    GT_REQUIRE(id < machine_domain_.size(), "machine id out of range");
+    return machine_domain_[id];
+  }
 
-  /// Machines belonging to a resource domain.
-  std::vector<MachineId> machines_in(ResourceDomainId rd) const;
+  /// Machines belonging to a resource domain (ascending ids; precomputed).
+  const std::vector<MachineId>& machines_in(ResourceDomainId rd) const;
 
   /// Clients belonging to a client domain.
   std::vector<ClientId> clients_in(ClientDomainId cd) const;
@@ -57,6 +64,10 @@ class GridSystem {
   std::vector<ClientDomain> client_domains_;
   std::vector<Machine> machines_;
   std::vector<Client> clients_;
+  // SoA hot-path indexes, derived from machines_ at construction (the
+  // topology is immutable, so they can never go stale).
+  std::vector<ResourceDomainId> machine_domain_;
+  std::vector<std::vector<MachineId>> domain_machines_;
 };
 
 /// Incremental construction with validation at build().

@@ -27,7 +27,9 @@ TrustEngine::TrustEngine(TrustEngineConfig config, std::size_t entities,
       entities_(entities),
       contexts_(contexts),
       alliances_(entities),
-      learned_weight_(entities, std::vector<double>(entities, 1.0)) {
+      learned_weight_(config.learn_recommender_weights ? entities * entities
+                                                       : 0,
+                      1.0) {
   GT_REQUIRE(entities > 0, "need at least one entity");
   GT_REQUIRE(contexts > 0, "need at least one context");
   GT_REQUIRE(config_.alpha >= 0.0 && config_.beta >= 0.0,
@@ -187,7 +189,7 @@ double TrustEngine::recommender_factor(EntityId evaluator,
                           ? config_.alliance_discount
                           : config_.independent_weight;
   if (!config_.learn_recommender_weights) return base;
-  return base * learned_weight_[evaluator][recommender];
+  return base * learned_weight_[evaluator * entities_ + recommender];
 }
 
 std::vector<TrustEngine::Entry> TrustEngine::export_records() const {
@@ -241,9 +243,11 @@ std::size_t TrustEngine::forget(EntityId entity) {
       ++it;
     }
   }
-  for (EntityId x = 0; x < entities_; ++x) {
-    learned_weight_[x][entity] = 1.0;
-    learned_weight_[entity][x] = 1.0;
+  if (!learned_weight_.empty()) {
+    for (EntityId x = 0; x < entities_; ++x) {
+      learned_weight_[x * entities_ + entity] = 1.0;
+      learned_weight_[entity * entities_ + x] = 1.0;
+    }
   }
   kDirectRecords.set(static_cast<double>(direct_.size()));
   return removed;
@@ -256,7 +260,7 @@ void TrustEngine::learn_recommenders(const Transaction& tx) {
   // 1 - normalized error.  A colluder that praises a misbehaving ally (or
   // badmouths a competitor) accumulates error and loses influence.
   constexpr double kScaleSpan = 5.0;  // |6 - 1|
-  std::vector<double>& weights = learned_weight_[tx.truster];
+  double* weights = &learned_weight_[tx.truster * entities_];
   for (EntityId z = 0; z < entities_; ++z) {
     if (z == tx.truster || z == tx.trustee) continue;
     const auto it = direct_.find(TripleKey{z, tx.trustee, tx.context});

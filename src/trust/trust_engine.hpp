@@ -173,8 +173,13 @@ class TrustEngine {
   std::size_t contexts_;
   AllianceGraph alliances_;
   std::map<TripleKey, DirectTrustRecord> direct_;
-  // learned_weight_[x][z]: x's reliability weight for recommender z.
-  std::vector<std::vector<double>> learned_weight_;
+  // learned_weight_[x * entities_ + z]: x's reliability weight for
+  // recommender z.  One flat row-major array (not a vector-of-vectors) so
+  // an evaluator's row is a single contiguous cache-friendly stripe — and
+  // allocated only when learn_recommender_weights is on, since it is E^2
+  // doubles (a million-entity engine must not pay 8 * 10^12 bytes for a
+  // feature that is off by default).
+  std::vector<double> learned_weight_;
   std::uint64_t tx_count_ = 0;
 };
 
