@@ -21,7 +21,7 @@ esac
 cd "$(dirname "$0")/.."
 
 # Static analysis first: it is the cheapest gate and catches determinism
-# regressions (gt-lint GT001–GT005) before a long sanitizer build.
+# regressions (gt-lint GT001–GT006) before a long sanitizer build.
 scripts/lint.sh
 
 cmake --preset "$preset"

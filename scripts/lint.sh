@@ -7,7 +7,7 @@
 #
 # Three prongs (docs/static-analysis.md has the full rule catalog):
 #   1. scripts/lint/gt_lint.py — determinism & concurrency rules
-#      GT001–GT005 (stdlib-only Python; always runs).
+#      GT001–GT006 (stdlib-only Python; always runs).
 #   2. clang-format --dry-run -Werror against the repo .clang-format.
 #   3. clang-tidy against the repo .clang-tidy via compile_commands.json
 #      (configures the release preset on demand to produce it).

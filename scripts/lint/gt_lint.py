@@ -27,6 +27,11 @@ dependency posture as check_markdown_links.py):
   GT005  include hygiene for headers under src/*/: #pragma once required,
          project includes are quoted "module/file.hpp" paths (no "../", no
          <bits/...>, no deprecated C compatibility headers).
+  GT006  naked process primitives (fork / vfork / exec* / kill / killpg /
+         raise / waitpid / wait3 / wait4) outside src/common/subprocess.* —
+         mirroring GT004's thread posture: all process supervision rides
+         ChildProcess / self_signal so workers are reaped, triaged, and
+         never leaked.
 
 False positives are silenced inline with a reason:
 
@@ -56,6 +61,9 @@ CLOCK_EXEMPT_DIRS = ("src/obs", "src/common")
 # material.  Everything else receives seeds as explicit arguments.
 SEED_HELPER_FILES = ("src/common/rng.hpp", "src/common/rng.cpp")
 THREAD_POOL_FILES = ("src/common/thread_pool.hpp", "src/common/thread_pool.cpp")
+# The process-supervision module: the only sanctioned home of raw
+# fork/exec/kill/waitpid calls (GT006).
+SUBPROCESS_FILES = ("src/common/subprocess.hpp", "src/common/subprocess.cpp")
 
 ALLOW = re.compile(r"//\s*gt-lint:\s*allow\(\s*(GT\d{3}(?:\s*,\s*GT\d{3})*)"
                    r"([^)]*)\)")
@@ -383,13 +391,40 @@ def rule_gt005(path, raw, code):
                               'quoted "module/file.hpp" form')
 
 
-RULES = [rule_gt001, rule_gt002, rule_gt003, rule_gt004, rule_gt005]
+# --------------------------------------------------------------------------
+# GT006 — naked process primitives outside common/subprocess
+# --------------------------------------------------------------------------
+
+# The lookbehind keeps method calls (`child.kill(`, `proc->kill(`) out while
+# still catching the globally-qualified `::fork(` form; the name list covers
+# creation (fork/exec*), signaling (kill/killpg/raise), and reaping
+# (waitpid/wait3/wait4).
+GT006_PATTERN = re.compile(
+    r"(?<![\w.>])(?:fork|vfork|execl|execle|execlp|execv|execve|execvp|"
+    r"execvpe|kill|killpg|raise|waitpid|wait3|wait4)\s*\(")
+
+
+def rule_gt006(path, raw, code):
+    if path in SUBPROCESS_FILES:
+        return
+    for i, line in enumerate(code, start=1):
+        if GT006_PATTERN.search(line):
+            yield Finding(
+                "GT006", path, i, raw[i - 1],
+                "naked process primitive outside common/subprocess; use "
+                "ChildProcess / self_signal so workers are reaped, triaged, "
+                "and never leaked")
+
+
+RULES = [rule_gt001, rule_gt002, rule_gt003, rule_gt004, rule_gt005,
+         rule_gt006]
 RULE_DOCS = {
     "GT001": "banned nondeterminism sources (rand/random_device/time/clocks)",
     "GT002": "unordered-container iteration reaching an export boundary",
     "GT003": "raw std engines / seed literals outside common/rng",
     "GT004": "naked std::thread/jthread/async/detach outside the pool",
     "GT005": "include hygiene for src/ headers",
+    "GT006": "naked fork/exec/kill/waitpid outside common/subprocess",
 }
 
 

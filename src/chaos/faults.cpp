@@ -60,6 +60,14 @@ void validate_spec(const FaultSpec& spec) {
   }
 }
 
+void validate_plan(const WorkerFaultPlan& plan) {
+  GT_REQUIRE(plan.after_cells >= 1,
+             "worker fault plan must let the worker complete >= 1 cell");
+  GT_REQUIRE(plan.signal >= 1, "worker fault plan needs a real signal");
+  GT_REQUIRE(plan.incarnations >= 1,
+             "worker fault plan must kill >= 1 incarnation");
+}
+
 FaultTimeline::FaultTimeline(std::vector<FaultSpec> specs)
     : specs_(std::move(specs)) {
   for (const FaultSpec& spec : specs_) validate_spec(spec);

@@ -64,6 +64,28 @@ struct FaultSpec {
 /// Validates one spec's ranges; throws PreconditionError on violations.
 void validate_spec(const FaultSpec& spec);
 
+/// Process-level fault: worker `worker` kills itself with `signal` after
+/// completing `after_cells` fresh cells, for its first `incarnations`
+/// incarnations.  The kill is a deterministic self-signal fired *after*
+/// the cell's journal flush, so the supervisor's crash-recovery path (the
+/// journal re-anchor, the reassignment, the byte-identical merge) is
+/// exercised by the same closed-loop chaos discipline as the simulation
+/// faults above — no timing races, identical replay under any scheduler.
+struct WorkerFaultPlan {
+  /// Index of the worker to kill (0-based supervisor slot).
+  std::size_t worker = 0;
+  /// Fresh (non-resumed) cells the doomed incarnation completes first.
+  std::size_t after_cells = 1;
+  /// Signal the worker sends itself (SIGKILL by default: the harshest
+  /// death — no destructors, no journal flush beyond the last cell's).
+  int signal = 9;
+  /// How many consecutive incarnations die; the next respawn survives.
+  std::size_t incarnations = 1;
+};
+
+/// Validates a worker fault plan; throws PreconditionError on violations.
+void validate_plan(const WorkerFaultPlan& plan);
+
 /// Pure time-indexed view over fault specs.
 class FaultTimeline {
  public:

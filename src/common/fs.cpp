@@ -1,7 +1,11 @@
 #include "common/fs.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -11,32 +15,93 @@
 
 namespace gridtrust {
 
+namespace {
+
+std::atomic<std::uint64_t> g_file_syncs{0};
+std::atomic<std::uint64_t> g_dir_syncs{0};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void remove_best_effort(const std::string& path) {
+  std::error_code ignored;
+  std::filesystem::remove(path, ignored);
+}
+
+/// Writes all of `content` to fd, retrying short writes and EINTR.
+/// Returns false (with errno set) on a write error.
+bool write_all(int fd, const std::string& content) {
+  const char* data = content.data();
+  std::size_t size = content.size();
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
 void atomic_write_file(const std::string& path, const std::string& content) {
   GT_REQUIRE(!path.empty(), "atomic_write_file requires a path");
   // The pid suffix keeps concurrent writers (e.g. two cache processes
   // storing the same key) from clobbering each other's temp file; the
   // rename still serializes them to one winner with complete content.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    GT_REQUIRE(static_cast<bool>(out), "cannot create temp file: " + tmp);
-    out << content;
-    out.flush();
-    if (!out) {
-      out.close();
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      GT_REQUIRE(false, "short write to temp file: " + tmp);
-    }
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  GT_REQUIRE(fd >= 0, "cannot create temp file: " + tmp);
+
+  if (!write_all(fd, content)) {
+    const int saved = errno;
+    ::close(fd);
+    remove_best_effort(tmp);
+    errno = saved;
+    throw_errno("short write to temp file: " + tmp);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    GT_REQUIRE(false, "cannot rename " + tmp + " over " + path + ": " +
-                          ec.message());
+  // Flush data to stable storage *before* the rename becomes visible —
+  // otherwise a crash can expose a renamed-but-empty file.
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    remove_best_effort(tmp);
+    errno = saved;
+    throw_errno("fsync of temp file: " + tmp);
   }
+  g_file_syncs.fetch_add(1, std::memory_order_relaxed);
+  if (::close(fd) != 0) {
+    remove_best_effort(tmp);
+    throw_errno("close of temp file: " + tmp);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    remove_best_effort(tmp);
+    errno = saved;
+    throw_errno("cannot rename " + tmp + " over " + path);
+  }
+
+  // Persist the directory entry: the rename only lives in the parent
+  // directory's data, which has its own dirty pages.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) throw_errno("cannot open parent directory: " + dir);
+  if (::fsync(dir_fd) != 0) {
+    const int saved = errno;
+    ::close(dir_fd);
+    errno = saved;
+    throw_errno("fsync of parent directory: " + dir);
+  }
+  g_dir_syncs.fetch_add(1, std::memory_order_relaxed);
+  ::close(dir_fd);
 }
 
 std::string read_file(const std::string& path) {
@@ -45,6 +110,13 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+FsSyncStats fs_sync_stats() {
+  FsSyncStats stats;
+  stats.file_syncs = g_file_syncs.load(std::memory_order_relaxed);
+  stats.dir_syncs = g_dir_syncs.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace gridtrust

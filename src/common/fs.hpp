@@ -4,23 +4,42 @@
 // entries, checkpoint journals, and metrics dumps are all read back by
 // other processes (CI compare gates, --resume, cache hits), so a crash or
 // SIGKILL mid-write must never leave a torn file behind.  The helper writes
-// the full content to a sibling temp file and renames it over the target —
-// rename(2) is atomic on POSIX, so readers observe either the old complete
-// file or the new complete file, never a prefix.
+// the full content to a sibling temp file, fsyncs it, and renames it over
+// the target — rename(2) is atomic on POSIX, so readers observe either the
+// old complete file or the new complete file, never a prefix.  After the
+// rename the *parent directory* is fsynced too: without that, a power cut
+// can persist the data blocks but lose the directory entry, and a journal
+// the supervisor already acknowledged would silently vanish on reboot.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace gridtrust {
 
-/// Writes `content` to `path` atomically (write temp sibling, flush,
-/// rename over).  Throws PreconditionError when the temp file cannot be
-/// created, written, or renamed; on failure the target is untouched and
-/// the temp file is removed best-effort.
+/// Writes `content` to `path` atomically and durably (write temp sibling,
+/// fsync it, rename over, fsync the parent directory).  Throws
+/// PreconditionError when the temp file cannot be created (missing
+/// directory, bad path) and std::system_error — classified `resource` by
+/// common/retry — when a write/fsync/rename fails underneath a valid path;
+/// on failure the target is untouched and the temp file is removed
+/// best-effort.
 void atomic_write_file(const std::string& path, const std::string& content);
 
 /// Reads a whole file into a string; throws PreconditionError when the
 /// file cannot be opened.
 std::string read_file(const std::string& path);
+
+/// Process-wide durability counters, bumped by atomic_write_file.  They
+/// exist so tests can assert the fsync paths actually executed (a silent
+/// fsync regression is invisible to a content check — the file looks fine
+/// until the machine loses power).
+struct FsSyncStats {
+  std::uint64_t file_syncs = 0;  ///< fsync(temp file) before rename
+  std::uint64_t dir_syncs = 0;   ///< fsync(parent dir) after rename
+};
+
+/// Snapshot of the counters above (monotonic since process start).
+FsSyncStats fs_sync_stats();
 
 }  // namespace gridtrust

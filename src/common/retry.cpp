@@ -1,12 +1,33 @@
 #include "common/retry.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <new>
 #include <system_error>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace gridtrust {
+
+ErrorClass classify_errno(int err) noexcept {
+  switch (err) {
+    case ENOSPC:
+    case EMFILE:
+    case ENFILE:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOMEM:
+    case EINTR:
+      return ErrorClass::kResource;
+    case ETIMEDOUT:
+      return ErrorClass::kTimeout;
+    default:
+      return ErrorClass::kUnknown;
+  }
+}
 
 ErrorClass classify_error(const std::exception_ptr& error) noexcept {
   if (!error) return ErrorClass::kUnknown;
@@ -18,8 +39,33 @@ ErrorClass classify_error(const std::exception_ptr& error) noexcept {
     return ErrorClass::kInvariant;
   } catch (const std::bad_alloc&) {
     return ErrorClass::kResource;
-  } catch (const std::system_error&) {
-    return ErrorClass::kResource;
+  } catch (const std::system_error& e) {
+    // ETIMEDOUT deserves the timeout class (distinct triage copy in
+    // manifests); every other errno stays resource — system errors are
+    // transient by default.
+    return classify_errno(e.code().value()) == ErrorClass::kTimeout
+               ? ErrorClass::kTimeout
+               : ErrorClass::kResource;
+  } catch (const std::exception& e) {
+    // Fallback for errno text smuggled through a plain exception type
+    // (e.g. a wrapped strerror message): without this, an out-of-disk
+    // failure surfacing as runtime_error would classify unknown.
+    try {
+      const std::string what = e.what();
+      static const char* const kResourceTokens[] = {
+          "No space left on device",           // ENOSPC
+          "Too many open files",               // EMFILE / ENFILE
+          "Resource temporarily unavailable",  // EAGAIN
+          "Cannot allocate memory",            // ENOMEM
+      };
+      for (const char* token : kResourceTokens) {
+        if (what.find(token) != std::string::npos) {
+          return ErrorClass::kResource;
+        }
+      }
+    } catch (...) {
+    }
+    return ErrorClass::kUnknown;
   } catch (...) {
     return ErrorClass::kUnknown;
   }
@@ -74,6 +120,21 @@ std::uint64_t RetryPolicy::backoff_ms(std::size_t retry_index,
                  std::pow(backoff_factor, static_cast<double>(retry_index - 1));
   delay = std::min(delay, static_cast<double>(backoff_max_ms));
   return static_cast<std::uint64_t>(delay);
+}
+
+std::uint64_t RetryPolicy::backoff_ms(std::size_t retry_index,
+                                      ErrorClass error_class,
+                                      std::uint64_t seed) const {
+  const std::uint64_t base = backoff_ms(retry_index, error_class);
+  if (base == 0 || jitter_frac <= 0.0) return base;
+  // Fold the attempt number into the stream so consecutive retries of the
+  // same unit don't reuse one jitter draw.
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * retry_index);
+  const double unit =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;  // [0, 1)
+  const double frac = std::min(std::max(jitter_frac, 0.0), 1.0);
+  const double scaled = static_cast<double>(base) * (1.0 - frac * unit);
+  return static_cast<std::uint64_t>(scaled);
 }
 
 }  // namespace gridtrust

@@ -29,6 +29,13 @@ enum class ErrorClass {
 /// std::current_exception().  Never throws.
 ErrorClass classify_error(const std::exception_ptr& error) noexcept;
 
+/// Classifies a raw errno value: exhaustion errnos (ENOSPC, EMFILE, ENFILE,
+/// EAGAIN, ENOMEM, EINTR) are `resource`, ETIMEDOUT is `timeout`, anything
+/// else is `unknown`.  classify_error applies this to std::system_error
+/// codes so an fsync that hits a full disk retries instead of failing the
+/// unit outright.  Never throws.
+ErrorClass classify_errno(int err) noexcept;
+
 /// Extracts what() from a caught exception ("<non-standard exception>"
 /// otherwise).  Never throws.
 std::string describe_error(const std::exception_ptr& error) noexcept;
@@ -53,11 +60,22 @@ struct RetryPolicy {
   std::uint64_t backoff_initial_ms = 10;
   double backoff_factor = 2.0;
   std::uint64_t backoff_max_ms = 2000;
+  /// Fraction of the delay randomized away to de-synchronize retry storms:
+  /// the seeded overload scales the schedule by a factor drawn uniformly
+  /// from [1 - jitter_frac, 1].  0 (the default) keeps the schedule exact.
+  double jitter_frac = 0.0;
 
   /// The backoff (milliseconds) to sleep before retry `retry_index`
   /// (1-based) of a failure of `error_class`; 0 for deterministic classes.
   std::uint64_t backoff_ms(std::size_t retry_index,
                            ErrorClass error_class) const;
+
+  /// Seeded overload: same schedule, scaled by deterministic jitter derived
+  /// from (seed, retry_index) via splitmix64 — the same unit retrying the
+  /// same attempt always sleeps the same amount, but distinct units (and
+  /// distinct attempts) spread out instead of thundering in lockstep.
+  std::uint64_t backoff_ms(std::size_t retry_index, ErrorClass error_class,
+                           std::uint64_t seed) const;
 };
 
 }  // namespace gridtrust

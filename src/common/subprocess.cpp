@@ -1,0 +1,281 @@
+#include "common/subprocess.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace gridtrust {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// Writes all of [data, data + size) to fd, retrying short writes and EINTR.
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("subprocess frame write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("subprocess O_NONBLOCK");
+  }
+}
+
+ExitStatus decode_wait_status(int wstatus) {
+  ExitStatus status;
+  if (WIFSIGNALED(wstatus)) {
+    status.signaled = true;
+    status.code = WTERMSIG(wstatus);
+  } else {
+    status.signaled = false;
+    status.code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+  }
+  return status;
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (signaled) {
+    const char* name = ::strsignal(code);  // NOLINT(concurrency-mt-unsafe)
+    return "signal " + std::to_string(code) +
+           (name != nullptr ? std::string(" (") + name + ")" : std::string());
+  }
+  return "exit " + std::to_string(code);
+}
+
+int exit_code_for(ErrorClass error_class) {
+  return kClassExitBase + static_cast<int>(error_class);
+}
+
+ErrorClass classify_exit(const ExitStatus& status) {
+  if (status.signaled) return ErrorClass::kResource;
+  const int offset = status.code - kClassExitBase;
+  if (offset >= 0 && offset <= static_cast<int>(ErrorClass::kUnknown)) {
+    return static_cast<ErrorClass>(offset);
+  }
+  return ErrorClass::kUnknown;
+}
+
+void FrameWriter::send(const std::string& payload) const {
+  char header[4];
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<char>(size & 0xff);
+  header[1] = static_cast<char>((size >> 8) & 0xff);
+  header[2] = static_cast<char>((size >> 16) & 0xff);
+  header[3] = static_cast<char>((size >> 24) & 0xff);
+  write_all(fd_, header, sizeof(header));
+  write_all(fd_, payload.data(), payload.size());
+}
+
+bool FrameReader::drain(std::vector<std::string>& frames) {
+  char chunk[4096];
+  while (!eof_) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    throw_errno("subprocess frame read");
+  }
+  // Peel complete frames off the front of the buffer.
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= 4) {
+    const unsigned char* b =
+        reinterpret_cast<const unsigned char*>(buffer_.data() + offset);
+    const std::uint32_t size = static_cast<std::uint32_t>(b[0]) |
+                               (static_cast<std::uint32_t>(b[1]) << 8) |
+                               (static_cast<std::uint32_t>(b[2]) << 16) |
+                               (static_cast<std::uint32_t>(b[3]) << 24);
+    if (buffer_.size() - offset - 4 < size) break;
+    frames.emplace_back(buffer_, offset + 4, size);
+    offset += 4 + size;
+  }
+  buffer_.erase(0, offset);
+  return !eof_;
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(other.pid_),
+      channel_fd_(other.channel_fd_),
+      exit_status_(other.exit_status_) {
+  other.pid_ = -1;
+  other.channel_fd_ = -1;
+  other.exit_status_.reset();
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    if (valid() && !exit_status_.has_value()) {
+      send_signal(SIGKILL);
+      (void)wait_exit();
+    }
+    close_channel();
+    pid_ = other.pid_;
+    channel_fd_ = other.channel_fd_;
+    exit_status_ = other.exit_status_;
+    other.pid_ = -1;
+    other.channel_fd_ = -1;
+    other.exit_status_.reset();
+  }
+  return *this;
+}
+
+ChildProcess::~ChildProcess() {
+  if (valid() && !exit_status_.has_value()) {
+    send_signal(SIGKILL);
+    int wstatus = 0;
+    (void)::waitpid(pid_, &wstatus, 0);
+  }
+  close_channel();
+}
+
+ChildProcess ChildProcess::spawn(
+    const std::function<int(const FrameWriter&)>& child_main,
+    const std::vector<int>& close_in_child) {
+  GT_REQUIRE(child_main != nullptr, "spawn requires a child_main");
+  int fds[2];
+  if (::pipe(fds) != 0) throw_errno("subprocess pipe");
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw_errno("subprocess fork");
+  }
+
+  if (pid == 0) {
+    // Child.  Drop the read end and any inherited sibling channels, run the
+    // payload, and leave via _exit so the parent's atexit/stdio state is
+    // never replayed from the child.
+    ::close(fds[0]);
+    for (const int fd : close_in_child) {
+      if (fd >= 0) ::close(fd);
+    }
+    const FrameWriter writer(fds[1]);
+    int code = 0;
+    try {
+      code = child_main(writer);
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      std::fprintf(stderr, "worker %d: %s\n", static_cast<int>(::getpid()),
+                   describe_error(error).c_str());
+      std::fflush(stderr);
+      code = exit_code_for(classify_error(error));
+    }
+    ::close(fds[1]);
+    ::_exit(code);
+  }
+
+  // Parent.
+  ::close(fds[1]);
+  set_nonblocking(fds[0]);
+  ChildProcess child;
+  child.pid_ = pid;
+  child.channel_fd_ = fds[0];
+  return child;
+}
+
+std::optional<ExitStatus> ChildProcess::poll_exit() {
+  if (exit_status_.has_value()) return exit_status_;
+  if (!valid()) return std::nullopt;
+  int wstatus = 0;
+  const pid_t reaped = ::waitpid(pid_, &wstatus, WNOHANG);
+  if (reaped == pid_) {
+    exit_status_ = decode_wait_status(wstatus);
+  }
+  return exit_status_;
+}
+
+ExitStatus ChildProcess::wait_exit() {
+  if (exit_status_.has_value()) return *exit_status_;
+  GT_REQUIRE(valid(), "wait_exit on an empty ChildProcess");
+  int wstatus = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid_, &wstatus, 0);
+  } while (reaped < 0 && errno == EINTR);
+  if (reaped < 0) throw_errno("subprocess waitpid");
+  exit_status_ = decode_wait_status(wstatus);
+  return *exit_status_;
+}
+
+void ChildProcess::send_signal(int sig) const {
+  if (!valid() || exit_status_.has_value()) return;
+  (void)::kill(pid_, sig);
+}
+
+void ChildProcess::close_channel() {
+  if (channel_fd_ >= 0) {
+    ::close(channel_fd_);
+    channel_fd_ = -1;
+  }
+}
+
+std::vector<std::size_t> wait_readable(const std::vector<int>& fds,
+                                       int timeout_ms) {
+  std::vector<struct pollfd> pollfds;
+  std::vector<std::size_t> index_of;  // pollfd slot -> caller index
+  pollfds.reserve(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i] < 0) continue;
+    pollfds.push_back({fds[i], POLLIN, 0});
+    index_of.push_back(i);
+  }
+  std::vector<std::size_t> readable;
+  if (pollfds.empty()) {
+    // Nothing to watch: still honor the timeout so callers can use this as
+    // their loop cadence while only reaping exits.
+    if (timeout_ms > 0) {
+      (void)::poll(nullptr, 0, timeout_ms);
+    }
+    return readable;
+  }
+  const int n = ::poll(pollfds.data(), pollfds.size(), timeout_ms);
+  if (n <= 0) return readable;  // timeout or EINTR: caller just loops
+  for (std::size_t slot = 0; slot < pollfds.size(); ++slot) {
+    if ((pollfds[slot].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      readable.push_back(index_of[slot]);
+    }
+  }
+  return readable;
+}
+
+void self_signal(int sig) {
+  (void)::kill(::getpid(), sig);
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace gridtrust

@@ -1,0 +1,157 @@
+// Process supervision primitives (the only sanctioned home of fork/kill/
+// waitpid — gt-lint GT006 bans the naked calls everywhere else, mirroring
+// GT004's thread posture).
+//
+// The lab supervisor scales sweeps across worker *processes* so that a
+// rogue unit (OOM, assert, stray SIGSEGV) kills one shard, not the whole
+// campaign.  This module owns the low-level mechanics:
+//
+//   - ChildProcess: fork a worker that runs a callable and _exits with its
+//     return value; the parent gets a non-blocking pipe read end plus
+//     poll/wait/signal primitives for triage.
+//   - FrameWriter / FrameReader: a length-prefixed message protocol over
+//     that pipe (4-byte little-endian payload length + payload), so
+//     heartbeats and cell-completion records survive arbitrary kernel
+//     buffering without a delimiter ambiguity.
+//   - classify_exit: maps a child's exit status onto the common/retry
+//     taxonomy, so the supervisor reuses the same transient-vs-deterministic
+//     triage (and backoff schedule) the in-process engine applies to thrown
+//     exceptions.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/retry.hpp"
+
+namespace gridtrust {
+
+/// How a child ended: a normal exit code or a terminating signal.
+struct ExitStatus {
+  bool signaled = false;
+  /// Exit code when !signaled, signal number when signaled.
+  int code = 0;
+
+  bool operator==(const ExitStatus&) const = default;
+
+  /// "exit 3" / "signal 9 (SIGKILL)" — for triage logs and failure records.
+  std::string describe() const;
+};
+
+/// The exit code a child uses to report a classified failure: exit
+/// `kClassExitBase + static_cast<int>(error_class)`.  classify_exit maps it
+/// back in the parent, so a worker that caught and classified its own death
+/// round-trips the class across the process boundary.
+inline constexpr int kClassExitBase = 64;
+
+/// Exit code for a classified failure (64..68, see kClassExitBase).
+int exit_code_for(ErrorClass error_class);
+
+/// Triage of a child's exit for the retry machinery: terminating signals
+/// (SIGKILL, SIGSEGV, OOM-kill) are `resource` — transient from the sweep's
+/// perspective, a fresh worker retries the shard; classified exit codes
+/// (kClassExitBase + class) round-trip their class; any other nonzero exit
+/// is `unknown` (also transient).  Exit 0 never reaches triage.
+ErrorClass classify_exit(const ExitStatus& status);
+
+/// Writes length-prefixed frames to a pipe.  Single-writer: the child owns
+/// its pipe's write end exclusively, so frames never interleave.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  /// Sends one frame (4-byte LE length + payload).  Throws
+  /// std::system_error when the pipe is gone (parent died).
+  void send(const std::string& payload) const;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// Reassembles length-prefixed frames from a non-blocking pipe read end.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  /// Drains whatever is available without blocking, appending every
+  /// complete frame to `frames`.  Returns false once EOF has been reached
+  /// (writer closed); a partial trailing frame stays buffered.
+  bool drain(std::vector<std::string>& frames);
+
+  int fd() const { return fd_; }
+  bool eof() const { return eof_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// One forked worker process plus its message channel.
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  /// A still-running child is SIGKILLed and reaped (best effort): a dying
+  /// supervisor must not leak orphan workers.
+  ~ChildProcess();
+
+  /// Forks.  In the child: every fd in `close_in_child` is closed (pass the
+  /// read ends of sibling workers so a dead coordinator cannot be kept
+  /// alive by an unrelated child), then `child_main(writer)` runs and the
+  /// child _exits with its return value — _exit, not exit, so the parent's
+  /// atexit handlers and stdio buffers are never replayed.  A throw out of
+  /// child_main is classified and reported as exit kClassExitBase + class.
+  /// In the parent: returns the handle; channel_fd() is the non-blocking
+  /// read end of the child's frame pipe.
+  static ChildProcess spawn(
+      const std::function<int(const FrameWriter&)>& child_main,
+      const std::vector<int>& close_in_child = {});
+
+  pid_t pid() const { return pid_; }
+  int channel_fd() const { return channel_fd_; }
+  bool valid() const { return pid_ > 0; }
+
+  /// Non-blocking reap (waitpid WNOHANG); the result is cached, so polling
+  /// after the child has been reaped keeps returning the same status.
+  std::optional<ExitStatus> poll_exit();
+
+  /// Blocking reap.
+  ExitStatus wait_exit();
+
+  /// kill(2) — no-op once the child has been reaped.
+  void send_signal(int sig) const;
+
+  /// Closes the parent's read end (poll loops drop the fd afterwards).
+  void close_channel();
+
+ private:
+  pid_t pid_ = -1;
+  int channel_fd_ = -1;
+  std::optional<ExitStatus> exit_status_;
+};
+
+/// Indices of `fds` that are readable (or hung up) after waiting at most
+/// `timeout_ms`; empty on timeout.  Entries of -1 are skipped.
+std::vector<std::size_t> wait_readable(const std::vector<int>& fds,
+                                       int timeout_ms);
+
+/// Sends `sig` to the calling process itself.  The sanctioned path for
+/// chaos fault plans that kill a worker from the inside deterministically.
+void self_signal(int sig);
+
+/// Monotonic wall-clock seconds (arbitrary epoch).  Lives here so heartbeat
+/// bookkeeping above common/ never touches a raw clock (gt-lint GT001).
+double monotonic_seconds();
+
+}  // namespace gridtrust

@@ -1,5 +1,6 @@
 #include "lab/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,23 @@ std::string git_revision() {
 #endif
 }
 
+Manifest manifest_header(const SweepSpec& spec, std::uint64_t seed,
+                         std::size_t replications) {
+  Manifest manifest;
+  manifest.spec = spec.name;
+  manifest.title = spec.title;
+  manifest.git_rev = git_revision();
+  manifest.seed = seed;
+  manifest.replications = replications;
+  manifest.tolerance_pct = spec.tolerance_pct;
+  // The hash records the sweep as actually run (overrides applied).
+  SweepSpec effective = spec;
+  effective.seed = seed;
+  effective.replications = replications;
+  manifest.spec_hash = hash_hex(effective.content_hash());
+  return manifest;
+}
+
 SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   GT_REQUIRE(spec.run != nullptr,
              "spec \"" + spec.name + "\" has no runner");
@@ -100,23 +118,29 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   GT_REQUIRE(replications >= 1, "need at least one replication");
 
   SweepRun run;
-  run.manifest.spec = spec.name;
-  run.manifest.title = spec.title;
-  run.manifest.git_rev = git_revision();
-  run.manifest.seed = seed;
-  run.manifest.replications = replications;
-  run.manifest.tolerance_pct = spec.tolerance_pct;
-  {
-    // The hash records the sweep as actually run (overrides applied).
-    SweepSpec effective = spec;
-    effective.seed = seed;
-    effective.replications = replications;
-    run.manifest.spec_hash = hash_hex(effective.content_hash());
-  }
+  run.manifest = manifest_header(spec, seed, replications);
 
   const std::vector<Cell> cells = spec.cells();
-  run.cells = cells.size();
   run.manifest.cells.resize(cells.size());
+
+  // Shard restriction: only subset cells are eligible to run, resume, or
+  // count toward the budget; the rest stay default-initialized (the
+  // supervisor overwrites them from sibling shards during the merge).
+  std::vector<char> eligible(cells.size(), 1);
+  std::size_t eligible_count = cells.size();
+  if (options.cell_subset != nullptr) {
+    std::fill(eligible.begin(), eligible.end(), 0);
+    eligible_count = 0;
+    for (const std::size_t i : *options.cell_subset) {
+      GT_REQUIRE(i < cells.size(),
+                 "cell_subset index " + std::to_string(i) +
+                     " outside the grid (" + std::to_string(cells.size()) +
+                     " cells)");
+      if (eligible[i] == 0) ++eligible_count;
+      eligible[i] = 1;
+    }
+  }
+  run.cells = eligible_count;
 
   std::unique_ptr<ResultCache> cache;
   if (!options.cache_dir.empty()) {
@@ -135,6 +159,9 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
 
   // Resume: re-anchor the previous run's completed cells onto this grid.
   // Only `ok` cells short-circuit — failed cells get a fresh chance.
+  // Duplicate entries for one cell (a shard journal appended to after a
+  // partial flush, or two shards that both journaled a reassigned cell)
+  // resolve last-wins: the later record reflects the later, complete run.
   std::vector<char> done(cells.size(), 0);
   if (!options.resume_journal.empty()) {
     if (std::optional<Journal> previous =
@@ -144,14 +171,20 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
                      "\" records spec " + previous->spec + "/" +
                      previous->spec_hash + ", not this sweep (" + spec.name +
                      "/" + run.manifest.spec_hash + ")");
+      std::vector<std::size_t> journal_slot(cells.size(), 0);
       for (ManifestCell& cell : previous->cells) {
         if (cell.status != CellStatus::kOk) continue;
         if (cell.index >= cells.size()) continue;
         const std::size_t i = cell.index;
+        if (eligible[i] == 0) continue;
         if (cell.param_hash != hash_hex(cell_param_hash(cells[i]))) continue;
-        if (done[i]) continue;
-        done[i] = 1;
         run.manifest.cells[i] = cell;
+        if (done[i]) {
+          journal.cells[journal_slot[i]] = std::move(cell);
+          continue;
+        }
+        done[i] = 1;
+        journal_slot[i] = journal.cells.size();
         journal.cells.push_back(std::move(cell));
         ++run.cells_resumed;
       }
@@ -164,7 +197,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   // Resolve cache hits next so only genuinely missing cells fan out.
   std::vector<std::size_t> missing;  // indices into `cells`
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (done[i]) continue;
+    if (eligible[i] == 0 || done[i]) continue;
     const Cell& cell = cells[i];
     if (cache != nullptr) {
       const std::uint64_t key = cell_cache_key(spec, seed, replications, cell);
@@ -279,6 +312,11 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
         atomic_write_file(options.journal_path, journal_to_jsonl(journal));
       }
     }
+    // Fired after the journal flush so a subscriber (the supervisor's
+    // worker loop) never acknowledges a cell the journal could still lose.
+    if (options.on_cell_complete) {
+      options.on_cell_complete(run.manifest.cells[i]);
+    }
   };
 
   const auto run_unit = [&](std::size_t unit) {
@@ -308,7 +346,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
         kRetries.add();
         units_retried.fetch_add(1, std::memory_order_relaxed);
         const std::uint64_t backoff =
-            options.retry.backoff_ms(attempts, last_class);
+            options.retry.backoff_ms(attempts, last_class, rep_seed);
         if (backoff > 0) {
           std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
         }
@@ -369,6 +407,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
     if (remaining[m].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       finalize_cell(m);
     }
+    if (options.on_unit_complete) options.on_unit_complete();
   };
 
   ThreadPool* pool = options.pool;
@@ -416,7 +455,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   if (cancelled && any_skipped) {
     run.manifest.outcome = RunOutcome::kInterrupted;
   } else if (run.units_failed > 0) {
-    const std::size_t total_units = cells.size() * replications;
+    const std::size_t total_units = eligible_count * replications;
     const double failed_pct = 100.0 *
                               static_cast<double>(run.units_failed) /
                               static_cast<double>(total_units);

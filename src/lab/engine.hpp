@@ -13,8 +13,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/retry.hpp"
 #include "common/thread_pool.hpp"
@@ -72,6 +74,20 @@ struct EngineOptions {
   /// Test aid: artificial latency (ms) added to every unit, to widen the
   /// interruption window in kill/resume tests.  Never changes results.
   std::uint64_t unit_sleep_ms = 0;
+
+  /// Restrict the run to these grid indices (the supervisor's shards).
+  /// Cells outside the subset are left untouched in the manifest and do
+  /// not count toward the failure budget or the outcome.  nullptr (the
+  /// default) runs the whole grid.  Values must be valid grid indices.
+  const std::vector<std::size_t>* cell_subset = nullptr;
+  /// Fired after a *fresh* cell finalizes — after its journal flush, for
+  /// ok and failed cells alike (resumed/cached cells never fire).  Runs
+  /// under the engine's finalize lock; keep it cheap.  The supervisor's
+  /// workers stream completed cells to the coordinator from here.
+  std::function<void(const ManifestCell&)> on_cell_complete;
+  /// Fired after every (cell, replication) unit attempt chain resolves —
+  /// the supervisor's workers derive heartbeats from this.
+  std::function<void()> on_unit_complete;
 };
 
 /// One engine run: the manifest plus execution facts that deliberately stay
@@ -97,6 +113,13 @@ struct SweepRun {
 /// unit's exception is rethrown once every unit has been attempted, after
 /// the journal (if any) has been flushed.
 SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options = {});
+
+/// The manifest header run_sweep would produce for (spec, seed,
+/// replications) — identity fields only, `cells` empty.  The supervisor
+/// merges shard journals under exactly this header so the merged document
+/// is byte-identical to a single-process run's.
+Manifest manifest_header(const SweepSpec& spec, std::uint64_t seed,
+                         std::size_t replications);
 
 /// The cache key of one cell under an effective (seed, replications):
 /// folds spec name, spec version, seed, replications, and the cell's

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/fs.hpp"
+#include "common/log.hpp"
 #include "obs/json.hpp"
 #include "obs/json_in.hpp"
 
@@ -64,10 +65,12 @@ Journal parse_journal(const std::string& text) {
       journal.cells.push_back(
           parse_manifest_cell(obs::parse_json(lines[i])));
     } catch (const PreconditionError&) {
-      // A torn tail (non-atomic writer died mid-line) is recoverable: the
-      // cell simply re-runs.  Anywhere else, the file is corrupt.
-      GT_REQUIRE(i == lines.size() - 1,
-                 "corrupt journal cell at line " + std::to_string(i + 1));
+      // A torn cell record is recoverable wherever it sits: the classic
+      // case is a torn tail (non-atomic writer died mid-line), but a
+      // shard journal that was partially flushed and then appended to can
+      // leave a torn record *followed by* valid ones.  Either way the
+      // damaged cell simply re-runs; only the header stays load-bearing.
+      log_warn("dropping torn journal cell at line ", i + 1);
     }
   }
   return journal;

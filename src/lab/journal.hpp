@@ -45,8 +45,9 @@ struct Journal {
 std::string journal_to_jsonl(const Journal& journal);
 
 /// Parses a journal document.  Throws PreconditionError on a malformed
-/// header or unknown schema; a malformed *cell* line is tolerated only as
-/// the final line (a torn tail from a non-atomic writer) and is dropped.
+/// header or unknown schema; a malformed *cell* line anywhere (a torn tail
+/// from a non-atomic writer, or a torn middle record in an appended shard
+/// journal) is dropped with a warning — the damaged cell just re-runs.
 Journal parse_journal(const std::string& text);
 
 /// Loads and parses a journal file, or nullopt when the file does not

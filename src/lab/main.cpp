@@ -7,6 +7,8 @@
 //       [--replications R] [--out PATH] [--cache-dir DIR] [--csv]
 //       [--metrics-out PATH] [--retries N] [--failure-budget PCT]
 //       [--journal PATH] [--resume PATH] [--unit-deadline SECONDS]
+//       [--workers N] [--shard-dir DIR] [--heartbeat-timeout SECONDS]
+//       [--worker-respawns N] [--kill-worker K] [--kill-after-cells M]
 //       Runs the named sweeps on the engine.  --jobs 0 uses the shared
 //       hardware-sized pool; manifests are byte-identical for every --jobs
 //       value.  --out writes the manifest (a directory when several specs
@@ -16,6 +18,12 @@
 //       checkpoints completed cells crash-safely and --resume re-loads
 //       them.  SIGINT/SIGTERM drain in-flight units, flush the journal and
 //       a partial manifest, and exit 130.
+//       --workers N > 0 switches to the crash-tolerant multi-process
+//       supervisor (docs/supervisor.md): cells shard across N forked
+//       workers journaling into --shard-dir, dead workers are triaged and
+//       respawned, and the merged manifest stays byte-identical to a
+//       --jobs 1 run.  --kill-worker/--kill-after-cells script a chaos
+//       worker suicide to drill the recovery path.
 //   gridtrust_lab compare <manifest> <baseline> [--tolerance PCT]
 //       Gates a manifest against a committed baseline; exits 1 on any
 //       violated gate (CI uses this with baselines/).
@@ -29,12 +37,14 @@
 #include <filesystem>
 #include <iostream>
 
+#include "chaos/faults.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/fs.hpp"
 #include "lab/catalog.hpp"
 #include "lab/engine.hpp"
 #include "lab/render.hpp"
+#include "lab/supervisor.hpp"
 #include "obs/export.hpp"
 
 namespace {
@@ -76,6 +86,86 @@ int cmd_list() {
     std::cout << "  " << name << ":";
     for (const std::string& member : members) std::cout << " " << member;
     std::cout << "\n";
+  }
+  return 0;
+}
+
+/// The --workers path: one spec, sharded across forked worker processes
+/// (lab::run_supervised).  Same outcome -> exit-code mapping as cmd_run.
+int cmd_run_supervised(const std::vector<std::string>& resolved,
+                       const lab::EngineOptions& options,
+                       const CliParser& cli) {
+  GT_REQUIRE(resolved.size() == 1,
+             "--workers supervises one spec at a time; run suites without it");
+  GT_REQUIRE(options.journal_path.empty() && options.resume_journal.empty(),
+             "--workers is incompatible with --journal/--resume: each shard "
+             "owns a journal under --shard-dir");
+  const lab::SweepSpec* spec = lab::find_spec(resolved.front());
+  GT_REQUIRE(spec != nullptr, "unknown spec: " + resolved.front());
+
+  lab::SupervisorOptions sup;
+  sup.workers = static_cast<std::size_t>(cli.get_int("workers"));
+  sup.shard_dir = cli.get_string("shard-dir");
+  if (sup.shard_dir.empty()) sup.shard_dir = spec->name + ".shards";
+  sup.heartbeat_timeout_s = cli.get_double("heartbeat-timeout");
+  GT_REQUIRE(sup.heartbeat_timeout_s > 0.0,
+             "--heartbeat-timeout must be > 0");
+  const std::int64_t respawns = cli.get_int("worker-respawns");
+  GT_REQUIRE(respawns >= 0, "--worker-respawns must be >= 0");
+  sup.max_respawns = static_cast<std::size_t>(respawns);
+  const std::int64_t kill_worker = cli.get_int("kill-worker");
+  if (kill_worker >= 0) {
+    chaos::WorkerFaultPlan plan;
+    plan.worker = static_cast<std::size_t>(kill_worker);
+    const std::int64_t after = cli.get_int("kill-after-cells");
+    GT_REQUIRE(after >= 1, "--kill-after-cells must be >= 1");
+    plan.after_cells = static_cast<std::size_t>(after);
+    sup.fault_plans.push_back(plan);
+  }
+  sup.cancel = &g_interrupted;
+
+  obs::MetricsExportScope metrics(cli);
+  const lab::SupervisorRun run = lab::run_supervised(*spec, options, sup);
+
+  const TextTable table = lab::sweep_table(*spec, run.manifest);
+  std::cout << (cli.get_flag("csv") ? table.to_csv() : table.to_string());
+  for (const std::string& line : lab::paired_summaries(run.manifest)) {
+    std::cout << "  " << line << "\n";
+  }
+  std::cout << "  expected: " << spec->expected << "\n"
+            << "  " << run.cells << " cells over " << sup.workers
+            << " workers, " << format_grouped(run.wall_seconds, 2)
+            << " s wall\n"
+            << "  supervisor: " << run.counters.workers_spawned
+            << " spawned, " << run.counters.workers_lost << " lost, "
+            << run.counters.workers_respawned << " respawned, "
+            << run.counters.cells_reassigned << " cells reassigned, "
+            << run.counters.heartbeats_missed << " heartbeats missed\n";
+  if (run.manifest.outcome != lab::RunOutcome::kComplete ||
+      run.cells_failed > 0) {
+    std::cout << "  outcome: " << lab::to_string(run.manifest.outcome)
+              << " (" << run.cells_failed << " cells failed)\n";
+    for (const lab::ManifestCell& cell : run.manifest.cells) {
+      for (const lab::UnitFailure& failure : cell.failures) {
+        std::cout << "    cell " << cell.index << " rep " << failure.rep
+                  << " [" << to_string(failure.error_class) << " after "
+                  << failure.attempts << " attempt(s)]: " << failure.message
+                  << "\n";
+      }
+    }
+  }
+  std::cout << "\n";
+
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    atomic_write_file(out_path, lab::to_json(run.manifest));
+    std::cout << "  manifest: " << out_path << "\n\n";
+  }
+
+  switch (run.manifest.outcome) {
+    case lab::RunOutcome::kComplete: return 0;
+    case lab::RunOutcome::kPartial: return kExitPartial;
+    case lab::RunOutcome::kInterrupted: return kExitInterrupted;
   }
   return 0;
 }
@@ -128,6 +218,10 @@ int cmd_run(const std::vector<std::string>& names, const CliParser& cli) {
 
   install_signal_handlers();
   options.cancel = &g_interrupted;
+
+  const std::int64_t workers = cli.get_int("workers");
+  GT_REQUIRE(workers >= 0, "--workers must be >= 0");
+  if (workers > 0) return cmd_run_supervised(resolved, options, cli);
 
   const std::string out_path = cli.get_string("out");
   const bool out_is_dir = resolved.size() > 1 && !out_path.empty();
@@ -269,6 +363,24 @@ int main(int argc, char** argv) {
   cli.add_int("unit-sleep-ms", 0,
               "test aid: artificial per-unit latency in milliseconds "
               "(never changes results)");
+  cli.add_int("workers", 0,
+              "worker *processes* for run (0 = off): shards cells across "
+              "forked workers with crash-tolerant supervision; the merged "
+              "manifest is byte-identical to --jobs 1");
+  cli.add_string("shard-dir", "",
+                 "per-shard journal directory for --workers (default "
+                 "<spec>.shards)");
+  cli.add_double("heartbeat-timeout", 5.0,
+                 "seconds of worker silence before the supervisor declares "
+                 "it hung and SIGKILLs it");
+  cli.add_int("worker-respawns", 3,
+              "respawn attempts per worker slot before its remaining cells "
+              "are surrendered as failures");
+  cli.add_int("kill-worker", -1,
+              "chaos: worker index that kills itself mid-shard (-1 = off; "
+              "exercises the supervisor's recovery path)");
+  cli.add_int("kill-after-cells", 1,
+              "chaos: completed cells before --kill-worker's suicide");
   obs::add_metrics_flags(cli);
 
   try {

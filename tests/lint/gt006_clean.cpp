@@ -1,0 +1,11 @@
+// gt-lint-fixture: path=src/net/procy_clean.cpp expect=none
+// GT006 clean: process supervision rides common/subprocess — ChildProcess
+// owns fork + reaping, send_signal/self_signal own kill.
+#include "common/subprocess.hpp"
+
+int run_worker() {
+  gridtrust::ChildProcess child = gridtrust::ChildProcess::spawn(
+      [](const gridtrust::FrameWriter&) { return 0; });
+  child.send_signal(15);  // method call, not the raw primitive
+  return child.wait_exit().code;
+}

@@ -1,0 +1,10 @@
+// gt-lint-fixture: path=src/net/procy_suppressed.cpp expect=none
+// GT006 suppressed: a crash handler that must re-raise the fatal signal
+// after logging (the one legitimate raw-signal idiom outside subprocess).
+#include <csignal>
+
+extern "C" void crash_handler(int sig) {
+  signal(sig, SIG_DFL);
+  // gt-lint: allow(GT006 crash handler re-raises the fatal signal)
+  raise(sig);
+}

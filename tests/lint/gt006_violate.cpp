@@ -1,0 +1,17 @@
+// gt-lint-fixture: path=src/net/procy.cpp expect=GT006:10,GT006:12,GT006:13,GT006:15
+// GT006: naked process primitives outside common/subprocess.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+
+int shell_out(char** argv) {
+  int status = 0;
+  const pid_t child = fork();
+  if (child == 0) {
+    execvp(argv[0], argv);
+    raise(SIGKILL);
+  }
+  if (waitpid(child, &status, 0) < 0) return -1;
+  return status;
+}

@@ -2,6 +2,7 @@
 // filesystem/retry helpers, units, and error handling.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -658,6 +659,32 @@ TEST(Fs, ReadFileThrowsOnMissing) {
                PreconditionError);
 }
 
+TEST(Fs, AtomicWriteFileFsyncsTheFileAndItsParentDirectory) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "gridtrust_fs_sync_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const FsSyncStats before = fs_sync_stats();
+  atomic_write_file((dir / "durable.json").string(), "payload");
+  const FsSyncStats after = fs_sync_stats();
+  // One fsync for the temp file's data, one for the parent directory's
+  // entry table — both must actually be on the success path.
+  EXPECT_EQ(after.file_syncs, before.file_syncs + 1);
+  EXPECT_EQ(after.dir_syncs, before.dir_syncs + 1);
+  EXPECT_EQ(read_file((dir / "durable.json").string()), "payload");
+
+  // The failure path never reaches either sync.
+  const FsSyncStats pre_fail = fs_sync_stats();
+  EXPECT_THROW(
+      atomic_write_file((dir / "missing" / "x.json").string(), "content"),
+      PreconditionError);
+  const FsSyncStats post_fail = fs_sync_stats();
+  EXPECT_EQ(post_fail.file_syncs, pre_fail.file_syncs);
+  EXPECT_EQ(post_fail.dir_syncs, pre_fail.dir_syncs);
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------- retry
 
 TEST(Retry, ClassifiesStandardExceptionFamilies) {
@@ -706,6 +733,82 @@ TEST(Retry, BackoffIsExponentialCappedAndSkippedForDeterministic) {
   // pure function's outcome.
   EXPECT_EQ(policy.backoff_ms(1, ErrorClass::kPrecondition), 0u);
   EXPECT_EQ(policy.backoff_ms(5, ErrorClass::kInvariant), 0u);
+}
+
+TEST(Retry, ClassifyErrnoMapsExhaustionToResource) {
+  EXPECT_EQ(classify_errno(ENOSPC), ErrorClass::kResource);
+  EXPECT_EQ(classify_errno(EMFILE), ErrorClass::kResource);
+  EXPECT_EQ(classify_errno(ENFILE), ErrorClass::kResource);
+  EXPECT_EQ(classify_errno(EAGAIN), ErrorClass::kResource);
+  EXPECT_EQ(classify_errno(ENOMEM), ErrorClass::kResource);
+  EXPECT_EQ(classify_errno(EINTR), ErrorClass::kResource);
+  EXPECT_EQ(classify_errno(ETIMEDOUT), ErrorClass::kTimeout);
+  EXPECT_EQ(classify_errno(EINVAL), ErrorClass::kUnknown);
+  EXPECT_EQ(classify_errno(0), ErrorClass::kUnknown);
+}
+
+TEST(Retry, SystemErrorsClassifyThroughTheirErrno) {
+  const auto classify = [](auto&& make) {
+    try {
+      make();
+    } catch (...) {
+      return classify_error(std::current_exception());
+    }
+    return ErrorClass::kUnknown;
+  };
+  EXPECT_EQ(classify([] {
+              throw std::system_error(ENOSPC, std::generic_category(), "w");
+            }),
+            ErrorClass::kResource);
+  EXPECT_EQ(classify([] {
+              throw std::system_error(ETIMEDOUT, std::generic_category(), "w");
+            }),
+            ErrorClass::kTimeout);
+}
+
+TEST(Retry, ErrnoTextInPlainExceptionsClassifiesResource) {
+  // An out-of-disk failure smuggled through a runtime_error (a wrapped
+  // strerror message) must still triage as transient resource pressure.
+  const auto classify = [](const std::string& what) {
+    try {
+      throw std::runtime_error(what);
+    } catch (...) {
+      return classify_error(std::current_exception());
+    }
+  };
+  EXPECT_EQ(classify("write foo: No space left on device"),
+            ErrorClass::kResource);
+  EXPECT_EQ(classify("open bar: Too many open files"), ErrorClass::kResource);
+  EXPECT_EQ(classify("read: Resource temporarily unavailable"),
+            ErrorClass::kResource);
+  EXPECT_EQ(classify("mmap: Cannot allocate memory"), ErrorClass::kResource);
+  EXPECT_EQ(classify("something else entirely"), ErrorClass::kUnknown);
+}
+
+TEST(Retry, SeededBackoffJitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.backoff_initial_ms = 100;
+  policy.backoff_factor = 2.0;
+  policy.backoff_max_ms = 1000;
+  policy.jitter_frac = 0.5;
+  for (std::size_t idx = 1; idx <= 4; ++idx) {
+    const std::uint64_t base = policy.backoff_ms(idx, ErrorClass::kResource);
+    const std::uint64_t a =
+        policy.backoff_ms(idx, ErrorClass::kResource, 1234);
+    // Same (seed, attempt) -> same delay: retry storms de-synchronize
+    // deterministically, not randomly.
+    EXPECT_EQ(a, policy.backoff_ms(idx, ErrorClass::kResource, 1234));
+    EXPECT_GE(a, base / 2);
+    EXPECT_LE(a, base);
+  }
+  // Different seeds spread out; deterministic classes still never sleep.
+  EXPECT_NE(policy.backoff_ms(1, ErrorClass::kResource, 1),
+            policy.backoff_ms(1, ErrorClass::kResource, 2));
+  EXPECT_EQ(policy.backoff_ms(1, ErrorClass::kPrecondition, 7), 0u);
+  // jitter_frac = 0 (the default) reproduces the unjittered schedule.
+  policy.jitter_frac = 0.0;
+  EXPECT_EQ(policy.backoff_ms(2, ErrorClass::kResource, 42),
+            policy.backoff_ms(2, ErrorClass::kResource));
 }
 
 TEST(ThreadPool, SizeDefaultsToAtLeastOne) {

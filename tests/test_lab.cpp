@@ -10,6 +10,7 @@
 #include <fstream>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
@@ -488,6 +489,92 @@ TEST(JournalTest, RoundTripsAndToleratesTornTail) {
   // Corruption anywhere else is an error, as is a foreign header.
   EXPECT_THROW((void)parse_journal("{\"schema\":\"other\"}\n"),
                PreconditionError);
+}
+
+TEST(JournalTest, TornMidRecordLineDropsOnlyThatCell) {
+  // An appended shard journal can tear in the *middle* (a record written
+  // by a dying incarnation, followed by its replacement's records): only
+  // the damaged cell may be lost.
+  const Manifest manifest = run_sweep(tiny_spec()).manifest;
+  Journal journal;
+  journal.spec = "tiny";
+  journal.spec_hash = manifest.spec_hash;
+  journal.seed = 99;
+  journal.replications = 4;
+  journal.cells = manifest.cells;
+
+  std::vector<std::string> lines;
+  std::istringstream in(journal_to_jsonl(journal));
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 7u);  // header + 6 cells
+  lines[2] = lines[2].substr(0, lines[2].size() / 2);  // tear cell 1
+  std::string torn;
+  for (const std::string& line : lines) torn += line + "\n";
+
+  const Journal parsed = parse_journal(torn);
+  ASSERT_EQ(parsed.cells.size(), 5u);
+  EXPECT_EQ(parsed.cells[0].index, 0u);
+  EXPECT_EQ(parsed.cells[1].index, 2u);  // the record *after* the tear
+  EXPECT_EQ(parsed.cells.back().index, 5u);
+}
+
+TEST(JournalTest, DuplicateCellEntriesLastWinOnResume) {
+  const std::string dir = temp_dir("resume_dup");
+  std::filesystem::create_directories(dir);
+  const std::string journal_path = dir + "/sweep.journal";
+  EngineOptions options;
+  options.jobs = 1;
+  options.journal_path = journal_path;
+  (void)run_sweep(tiny_spec(), options);
+
+  // A re-anchored shard can journal a cell twice (the dead incarnation's
+  // record plus its replacement's).  Resume must honor the newest record.
+  Journal journal = *load_journal(journal_path);
+  ASSERT_EQ(journal.cells.size(), 6u);
+  ManifestCell rewritten = journal.cells[0];
+  rewritten.metrics[0].second.mean = 777.0;
+  journal.cells.push_back(rewritten);
+  atomic_write_file(journal_path, journal_to_jsonl(journal));
+
+  EngineOptions resume_options;
+  resume_options.jobs = 1;
+  resume_options.resume_journal = journal_path;
+  const SweepRun resumed = run_sweep(tiny_spec(), resume_options);
+  EXPECT_EQ(resumed.cells_resumed, 6u);  // unique cells, not records
+  EXPECT_EQ(resumed.units_run, 0u);
+  EXPECT_EQ(resumed.manifest.cells[0].metrics[0].second.mean, 777.0);
+}
+
+TEST(JournalTest, TwoShardsJournalingTheSameCellHashResumeByteIdentical) {
+  // Two workers that both computed a cell (a reassignment that raced the
+  // original's journal flush) produce identical records — replaying their
+  // concatenation stays byte-identical to the uninterrupted run.
+  const std::string dir = temp_dir("resume_twoshard");
+  std::filesystem::create_directories(dir);
+  const std::string path_a = dir + "/shard-a.journal";
+  const std::string path_b = dir + "/shard-b.journal";
+  EngineOptions options;
+  options.jobs = 1;
+  options.journal_path = path_a;
+  const std::string reference = to_json(run_sweep(tiny_spec(), options).manifest);
+  options.journal_path = path_b;
+  (void)run_sweep(tiny_spec(), options);
+
+  // Append shard B's cell records (minus its header) onto shard A.
+  std::istringstream in(read_file(path_b));
+  std::string merged = read_file(path_a);
+  std::string line;
+  std::getline(in, line);  // drop header
+  while (std::getline(in, line)) merged += line + "\n";
+  atomic_write_file(path_a, merged);
+
+  EngineOptions resume_options;
+  resume_options.jobs = 1;
+  resume_options.resume_journal = path_a;
+  const SweepRun resumed = run_sweep(tiny_spec(), resume_options);
+  EXPECT_EQ(resumed.cells_resumed, 6u);
+  EXPECT_EQ(resumed.units_run, 0u);
+  EXPECT_EQ(to_json(resumed.manifest), reference);
 }
 
 TEST(JournalTest, CancelledRunJournalsCompletedCellsAndResumeIsBitIdentical) {
