@@ -5,14 +5,18 @@
 #   scripts/lint.sh --changed       # only files changed vs origin/main
 #   scripts/lint.sh --changed HEAD~1
 #
-# Three prongs (docs/static-analysis.md has the full rule catalog):
+# Four prongs (docs/static-analysis.md has the full rule catalog):
 #   1. scripts/lint/gt_lint.py — determinism & concurrency rules
-#      GT001–GT006 (stdlib-only Python; always runs).
-#   2. clang-format --dry-run -Werror against the repo .clang-format.
-#   3. clang-tidy against the repo .clang-tidy via compile_commands.json
+#      GT001–GT007 (stdlib-only Python; always runs).
+#   2. scripts/lint/include_graph.py — module layering DAG over quoted
+#      includes, plus freshness of the committed docs/include-graph.dot
+#      (stdlib-only Python; always runs, full-tree even under --changed
+#      because one edit can break a graph-global invariant).
+#   3. clang-format --dry-run -Werror against the repo .clang-format.
+#   4. clang-tidy against the repo .clang-tidy via compile_commands.json
 #      (configures the release preset on demand to produce it).
-# Prongs 2 and 3 are skipped with a notice when the binaries are not
-# installed (the CI lint job installs them, so CI always runs all three).
+# Prongs 3 and 4 are skipped with a notice when the binaries are not
+# installed (the CI lint job installs them, so CI always runs all four).
 # Exit: non-zero if any prong that ran found a violation.
 set -uo pipefail
 
@@ -55,6 +59,10 @@ if [ "$mode" = "changed" ]; then
 else
   python3 scripts/lint/gt_lint.py || status=1
 fi
+
+echo "== include-graph =="
+python3 scripts/lint/include_graph.py --check-dot docs/include-graph.dot \
+  || status=1
 
 echo "== clang-format =="
 if command -v clang-format >/dev/null 2>&1; then

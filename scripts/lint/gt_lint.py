@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """gt-lint: determinism & concurrency static analysis for the gridtrust tree.
 
-Usage: gt_lint.py [FILE ...] [--baseline FILE] [--update-baseline]
-                  [--self-test] [--list-rules]
+Usage: gt_lint.py [FILE ...] [--changed [BASE]] [--baseline FILE]
+                  [--update-baseline] [--self-test] [--list-rules]
 
 The lab engine's headline guarantee — manifests bit-identical across
 `--jobs 1/4/8` and across SIGKILL+`--resume` — rests on invariants no
@@ -32,6 +32,17 @@ dependency posture as check_markdown_links.py):
          mirroring GT004's thread posture: all process supervision rides
          ChildProcess / self_signal so workers are reaped, triaged, and
          never leaked.
+  GT007  unannotated lock/data association: a class that declares a mutex
+         member (std::mutex / std::shared_mutex / gridtrust::Mutex /
+         SharedMutex) alongside other mutable data members must carry at
+         least one GT_GUARDED_BY in its body.  The Clang thread-safety
+         analysis (src/common/annotations.hpp) can only check what is
+         annotated; GT007 is the GCC-side net that keeps new mutexes from
+         entering the tree unannotated.
+
+`--changed [BASE]` lints only files changed since BASE (default HEAD),
+skipping paths git reports but that no longer exist on disk (deleted or
+renamed away), so pre-push hooks never crash mid-rename.
 
 False positives are silenced inline with a reason:
 
@@ -416,8 +427,94 @@ def rule_gt006(path, raw, code):
                 "and never leaked")
 
 
+# --------------------------------------------------------------------------
+# GT007 — mutex member without any GT_GUARDED_BY in the class body
+# --------------------------------------------------------------------------
+
+GT007_MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:(?:gridtrust::)?(?:Mutex|SharedMutex)|"
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex))\s+(\w+)\s*(?:;|\{\s*\}\s*;)")
+GT007_GUARDED = re.compile(r"\bGT_(?:PT_)?GUARDED_BY\s*\(")
+# Lines that are never the guarded data we care about: non-storage
+# declarations, immutable members, and types that synchronize themselves.
+GT007_SKIP_MEMBER = re.compile(
+    r"^\s*(?:static\b|using\b|friend\b|typedef\b|template\b|return\b|"
+    r"public\s*:|private\s*:|protected\s*:|const\b|constexpr\b)|"
+    r"\bstd::atomic\b|\bstd::condition_variable\b|\bCondVar\b")
+
+
+def class_regions(code):
+    """Yields (start_line, end_line, member_lines) for class/struct bodies.
+    `member_lines` are the line numbers at the class's direct member depth
+    (brace-free lines only, so nested blocks and inline method bodies are
+    excluded) — a heuristic matched to the tree's one-declaration-per-line
+    style, pinned down by the GT007 fixtures."""
+    regions = []
+    open_stack = []  # entries: [is_class_body, start_line, member_lines]
+    stmt = []
+    for i, line in enumerate(code, start=1):
+        if line.lstrip().startswith('#'):
+            continue
+        if ('{' not in line and '}' not in line and open_stack
+                and open_stack[-1][0]):
+            open_stack[-1][2].append(i)
+        for ch in line:
+            if ch == '{':
+                text = normalize(''.join(stmt))
+                is_class = bool(
+                    re.search(r"\b(?:class|struct|union)\b", text)
+                    and not re.search(r"\benum\s+(?:class|struct)\b", text)
+                    and not re.search(r"\)\s*(?:const|noexcept|override|"
+                                      r"final)?\s*$", text))
+                open_stack.append([is_class, i, []])
+                stmt = []
+            elif ch == '}':
+                if open_stack:
+                    is_class, start, members = open_stack.pop()
+                    if is_class:
+                        regions.append((start, i, members))
+                stmt = []
+            elif ch == ';':
+                stmt = []
+            else:
+                stmt.append(ch)
+        stmt.append(' ')
+    return regions
+
+
+def rule_gt007(path, raw, code):
+    for start, end, member_lines in class_regions(code):
+        body_text = '\n'.join(code[start - 1:end])
+        if GT007_GUARDED.search(body_text):
+            continue
+        mutexes = []
+        data_members = 0
+        for line_no in member_lines:
+            line = code[line_no - 1]
+            mutex = GT007_MUTEX_MEMBER.match(line)
+            if mutex:
+                mutexes.append((line_no, mutex.group(1)))
+                continue
+            if GT007_SKIP_MEMBER.search(line):
+                continue
+            # Data member heuristic: a brace-free line that declares storage
+            # ends with ';' and has no parameter list.
+            if '(' not in line and re.search(r"\w[\w\]>]*\s*(?:=[^;]*)?;\s*$",
+                                             line):
+                data_members += 1
+        if mutexes and data_members > 0:
+            for line_no, name in mutexes:
+                yield Finding(
+                    "GT007", path, line_no, raw[line_no - 1],
+                    f"mutex member '{name}' in a class whose data members "
+                    "carry no GT_GUARDED_BY; annotate the lock/data "
+                    "association (common/annotations.hpp) so the Clang "
+                    "thread-safety analysis can check it")
+
+
 RULES = [rule_gt001, rule_gt002, rule_gt003, rule_gt004, rule_gt005,
-         rule_gt006]
+         rule_gt006, rule_gt007]
 RULE_DOCS = {
     "GT001": "banned nondeterminism sources (rand/random_device/time/clocks)",
     "GT002": "unordered-container iteration reaching an export boundary",
@@ -425,6 +522,7 @@ RULE_DOCS = {
     "GT004": "naked std::thread/jthread/async/detach outside the pool",
     "GT005": "include hygiene for src/ headers",
     "GT006": "naked fork/exec/kill/waitpid outside common/subprocess",
+    "GT007": "mutex member without any GT_GUARDED_BY in the class body",
 }
 
 
@@ -451,6 +549,38 @@ def default_targets():
     for glob in SOURCE_GLOBS:
         files.extend((REPO_ROOT / "src").rglob(glob))
     return sorted(files)
+
+
+def partition_changed(paths):
+    """Splits candidate paths into (existing, missing).  `git diff` output
+    can name files that are no longer on disk — a deletion staged after the
+    diff base, or the old half of a rename — and linting those must skip
+    with a notice, never crash."""
+    existing, missing = [], []
+    for path in paths:
+        (existing if path.is_file() else missing).append(path)
+    return existing, missing
+
+
+def changed_targets(base):
+    """Source files under src/ changed since `base` and still present."""
+    import subprocess
+    result = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=ACMR", base, "--",
+         "src"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"git diff against {base!r} failed: {result.stderr.strip()}")
+    suffixes = tuple(g.lstrip("*") for g in SOURCE_GLOBS)
+    candidates = sorted(REPO_ROOT / line
+                        for line in result.stdout.splitlines()
+                        if line.endswith(suffixes))
+    targets, skipped = partition_changed(candidates)
+    for path in skipped:
+        print(f"gt-lint: skipping deleted/renamed file: "
+              f"{path.relative_to(REPO_ROOT).as_posix()}")
+    return targets
 
 
 # --------------------------------------------------------------------------
@@ -520,8 +650,10 @@ def parse_fixture(path):
 
 
 def self_test(fixtures_dir):
+    # Top-level glob, not rglob: subdirectories of tests/lint/ belong to
+    # other checkers (include_graph fixtures carry no gt-lint directive).
     fixtures = sorted(
-        p for g in SOURCE_GLOBS for p in Path(fixtures_dir).rglob(g))
+        p for g in SOURCE_GLOBS for p in Path(fixtures_dir).glob(g))
     if not fixtures:
         print(f"self-test: no fixtures under {fixtures_dir}", file=sys.stderr)
         return 2
@@ -564,6 +696,20 @@ def self_test(fixtures_dir):
         else:
             failures += 1
             print(f"self-test: FAIL stale detection, got {stale}")
+
+    # --changed hardening: paths git names but that no longer exist on disk
+    # must be partitioned out (skipped with a notice), not opened.
+    with tempfile.TemporaryDirectory() as tmp:
+        live = Path(tmp) / "live.cpp"
+        live.write_text("int x = 0;\n", encoding="utf-8")
+        gone = Path(tmp) / "renamed_away.cpp"
+        targets, skipped = partition_changed([live, gone])
+        if targets == [live] and skipped == [gone]:
+            print("self-test: PASS --changed skips deleted/renamed paths")
+        else:
+            failures += 1
+            print(f"self-test: FAIL --changed partition: targets={targets} "
+                  f"skipped={skipped}")
     print(f"self-test: {'FAIL' if failures else 'OK'} "
           f"({len(fixtures)} fixtures, {failures} failure(s))")
     return 1 if failures else 0
@@ -574,6 +720,9 @@ def main(argv):
         description="determinism & concurrency lint for gridtrust")
     parser.add_argument("files", nargs="*", type=Path,
                         help="files to lint (default: src/**/*.{hpp,cpp})")
+    parser.add_argument("--changed", nargs="?", const="HEAD", metavar="BASE",
+                        help="lint only files changed since BASE (default "
+                             "HEAD); deleted/renamed paths are skipped")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from current findings")
@@ -592,7 +741,21 @@ def main(argv):
     if args.self_test:
         return self_test(args.fixtures)
 
-    targets = args.files or default_targets()
+    if args.changed is not None:
+        if args.files:
+            print("gt-lint: --changed and explicit FILE arguments are "
+                  "mutually exclusive", file=sys.stderr)
+            return 2
+        try:
+            targets = changed_targets(args.changed)
+        except RuntimeError as error:
+            print(f"gt-lint: {error}", file=sys.stderr)
+            return 2
+        if not targets:
+            print("gt-lint: OK — no changed source files to lint")
+            return 0
+    else:
+        targets = args.files or default_targets()
     findings = []
     for target in targets:
         if not target.exists():

@@ -33,7 +33,11 @@ std::string read_file(const std::string& path);
 /// Process-wide durability counters, bumped by atomic_write_file.  They
 /// exist so tests can assert the fsync paths actually executed (a silent
 /// fsync regression is invisible to a content check — the file looks fine
-/// until the machine loses power).
+/// until the machine loses power).  The backing counters are relaxed
+/// atomics, not a mutex-guarded pair: the two counts are independent
+/// monotone tallies, so there is no cross-field invariant for a lock (or a
+/// GT_GUARDED_BY annotation) to protect — see the thread-safety audit in
+/// docs/static-analysis.md.
 struct FsSyncStats {
   std::uint64_t file_syncs = 0;  ///< fsync(temp file) before rename
   std::uint64_t dir_syncs = 0;   ///< fsync(parent dir) after rename

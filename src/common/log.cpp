@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace gridtrust {
 
@@ -39,7 +40,8 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-std::mutex g_io_mutex;
+// Serializes whole lines onto stderr; guards the stream, not data.
+Mutex g_io_mutex;
 
 }  // namespace
 
@@ -59,7 +61,7 @@ LogLevel log_level() {
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  std::lock_guard<std::mutex> lock(g_io_mutex);
+  const MutexLock lock(&g_io_mutex);
   std::cerr << "[gridtrust " << level_name(level) << "] " << message << "\n";
 }
 

@@ -1,0 +1,179 @@
+// Annotated synchronization primitives.
+//
+// libstdc++'s std::mutex carries no Clang Thread Safety attributes, so a
+// class that locks it with std::lock_guard is invisible to the analysis.
+// These thin wrappers (same layout, fully inline, zero overhead) are the
+// capability-annotated equivalents; every mutex-bearing module in src/
+// uses them so -Werror=thread-safety can prove the lock/data associations
+// declared with GT_GUARDED_BY.  See docs/static-analysis.md for the
+// annotation how-to and common failure messages.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/annotations.hpp"
+
+namespace gridtrust {
+
+/// Exclusive-ownership mutex (std::mutex with a capability annotation).
+class GT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GT_ACQUIRE() { mutex_.lock(); }
+  void unlock() GT_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GT_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The wrapped std::mutex, for CondVar only: condition waits must
+  /// release/reacquire through an unannotated path (see CondVar::wait),
+  /// everything else locks through the annotated interface.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Reader/writer mutex (std::shared_mutex with a capability annotation).
+class GT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() GT_ACQUIRE() { mutex_.lock(); }
+  void unlock() GT_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GT_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock_shared() GT_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() GT_RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII exclusive lock over Mutex or SharedMutex (the annotated
+/// std::lock_guard).  Takes a pointer so the acquired capability is
+/// syntactically visible at the call site: MutexLock lock(&mutex_);
+class GT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mutex) GT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_->lock();
+  }
+  ~MutexLock() GT_RELEASE() { mutex_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mutex_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class GT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mutex) GT_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_->lock();
+  }
+  ~WriterMutexLock() GT_RELEASE() { mutex_->unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mutex_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class GT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mutex) GT_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_->lock_shared();
+  }
+  ~ReaderMutexLock() GT_RELEASE_SHARED() { mutex_->unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mutex_;
+};
+
+/// Condition variable paired with gridtrust::Mutex.
+///
+/// wait() is annotated GT_REQUIRES(mutex): the caller holds the mutex on
+/// entry and on return, which is exactly the capability state the analysis
+/// should assume — the release/reacquire inside the wait is invisible by
+/// design.  It routes through an *unannotated* std::unique_lock over the
+/// native handle; annotating the internal unlock would make the analysis
+/// flag std::condition_variable's wait body, which it cannot model.
+/// Callers write the predicate loop explicitly so guarded reads stay
+/// inside the analyzed region:
+///
+///   MutexLock lock(&mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) GT_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Deterministic first-error aggregation across pool workers.
+///
+/// Several call sites (ThreadPool::parallel_for, lab::run_sweep) attempt
+/// every index even when some fail, then rethrow the failure with the
+/// lowest index so the surfaced error does not depend on worker
+/// interleaving.  This slot is that idiom with the locking discipline
+/// annotated once instead of re-derived per site.
+class FirstErrorSlot {
+ public:
+  /// Records `error` for `index`; keeps the lowest-index error seen.
+  void note(std::size_t index, std::exception_ptr error) GT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    if (error_ == nullptr || index < index_) {
+      error_ = std::move(error);
+      index_ = index;
+    }
+  }
+
+  /// True when any error was recorded.
+  bool has_error() const GT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return error_ != nullptr;
+  }
+
+  /// Rethrows the recorded lowest-index error, if any.  Call after all
+  /// workers have finished (quiescent), e.g. past a parallel_for barrier.
+  void rethrow_if_error() GT_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      MutexLock lock(&mutex_);
+      error = error_;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::size_t index_ GT_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ GT_GUARDED_BY(mutex_);
+};
+
+}  // namespace gridtrust

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -36,7 +36,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     GT_REQUIRE(!stop_, "cannot submit to a stopped pool");
     queue_.push(std::move(packaged));
   }
@@ -53,18 +53,12 @@ void ThreadPool::parallel_for(std::size_t n,
   // (or, inline, skip the tail entirely).  Every index is attempted; the
   // error with the lowest index is rethrown afterwards so the outcome is
   // deterministic regardless of which worker hit it first.
-  std::mutex error_mutex;
-  std::size_t first_error_index = 0;
-  std::exception_ptr first_error;
+  FirstErrorSlot first_error;
   const auto guarded_body = [&](std::size_t i) {
     try {
       body(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error || i < first_error_index) {
-        first_error = std::current_exception();
-        first_error_index = i;
-      }
+      first_error.note(i, std::current_exception());
     }
   };
   if (on_worker_thread()) {
@@ -88,7 +82,7 @@ void ThreadPool::parallel_for(std::size_t n,
     }
     for (auto& fut : futures) fut.get();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_error();
 }
 
 bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
@@ -103,8 +97,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      // Explicit predicate loop (not the lambda overload) so the guarded
+      // reads of stop_/queue_ stay visible to the thread-safety analysis.
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stop_ must be true
       task = std::move(queue_.front());
       queue_.pop();

@@ -6,14 +6,15 @@
 // of workers (including zero extra workers on a single-core host).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace gridtrust {
 
@@ -35,7 +36,7 @@ class ThreadPool {
 
   /// Enqueues a task; returns a future for its completion.  Exceptions
   /// thrown by the task propagate through the future.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) GT_EXCLUDES(mutex_);
 
   /// Runs body(i) for i in [0, n), distributing indices over the pool and
   /// blocking until all complete.  A throw from body(i) never kills the
@@ -60,13 +61,13 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop() GT_EXCLUDES(mutex_);
 
-  std::vector<std::thread> threads_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<std::thread> threads_;  // written in the ctor only
+  Mutex mutex_;
+  std::queue<std::packaged_task<void()>> queue_ GT_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ GT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gridtrust

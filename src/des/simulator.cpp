@@ -2,10 +2,10 @@
 
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "obs/metrics.hpp"
 
 namespace gridtrust::des {
@@ -22,15 +22,20 @@ const obs::Counter kCancelled("des.events_cancelled");
 const obs::Gauge kHeapDepthMax("des.heap_depth_max");
 const obs::Gauge kPending("des.events_pending");
 
+/// Per-type histogram cache; the mutex/map association is annotated so the
+/// thread-safety analysis covers the interning path.
+struct HistogramCache {
+  Mutex mutex;
+  std::map<std::string, obs::Histogram> cache GT_GUARDED_BY(mutex);
+};
+
 /// Per-type execution-time histogram, interned once per type name.
 const obs::Histogram& event_type_histogram(const char* type) {
-  static std::mutex mutex;
-  static std::map<std::string, obs::Histogram>& cache =
-      *new std::map<std::string, obs::Histogram>();  // leaked: immortal
-  std::lock_guard<std::mutex> lock(mutex);
-  const auto it = cache.find(type);
-  if (it != cache.end()) return it->second;
-  return cache
+  static HistogramCache& table = *new HistogramCache();  // leaked: immortal
+  const MutexLock lock(&table.mutex);
+  const auto it = table.cache.find(type);
+  if (it != table.cache.end()) return it->second;
+  return table.cache
       .emplace(type, obs::Histogram(std::string("des.event_ns.") + type,
                                     obs::duration_bounds_ns()))
       .first->second;

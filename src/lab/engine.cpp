@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "common/fs.hpp"
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 #include "lab/cache.hpp"
 #include "lab/journal.hpp"
 #include "obs/metrics.hpp"
@@ -238,9 +238,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   // With the zero failure budget the contract is "rethrow the first
   // failure": keep the exhausted exception with the lowest unit index so
   // the choice is deterministic under any worker interleaving.
-  std::mutex error_mutex;
-  std::size_t first_error_unit = 0;
-  std::exception_ptr first_error;
+  FirstErrorSlot first_error;
 
   // Per-cell countdown: the worker that completes a cell's last unit
   // finalizes it (aggregate + journal flush + cache store) immediately, so
@@ -250,7 +248,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
   for (std::size_t m = 0; m < missing.size(); ++m) {
     remaining[m].store(replications, std::memory_order_relaxed);
   }
-  std::mutex finalize_mutex;  // serializes journal flushes + cache stores
+  Mutex finalize_mutex;  // serializes journal flushes + cache stores
 
   const auto finalize_cell = [&](std::size_t m) {
     const std::size_t i = missing[m];
@@ -292,16 +290,11 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
         out.status = CellStatus::kFailed;
         units_failed.fetch_add(1, std::memory_order_relaxed);
         kFailures.add();
-        std::lock_guard<std::mutex> lock(error_mutex);
-        const std::size_t unit = (m + 1) * replications - 1;
-        if (!first_error || unit < first_error_unit) {
-          first_error = error;
-          first_error_unit = unit;
-        }
+        first_error.note((m + 1) * replications - 1, error);
       }
     }
 
-    std::lock_guard<std::mutex> lock(finalize_mutex);
+    const MutexLock lock(&finalize_mutex);
     run.manifest.cells[i] = out;
     if (out.status == CellStatus::kOk) {
       if (cache != nullptr) {
@@ -395,11 +388,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
       unit_states[unit] = UnitState::kFailed;
       units_failed.fetch_add(1, std::memory_order_relaxed);
       kFailures.add();
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error || unit < first_error_unit) {
-        first_error = last_error;
-        first_error_unit = unit;
-      }
+      first_error.note(unit, last_error);
     }
 
     // acq_rel: the finalizing (last) decrementer must observe every other
@@ -462,7 +451,7 @@ SweepRun run_sweep(const SweepSpec& spec, const EngineOptions& options) {
     if (failed_pct > options.failure_budget_pct) {
       // Over budget (or strict zero-budget mode): the journal already
       // holds every completed cell, so completed work survives the throw.
-      std::rethrow_exception(first_error);
+      first_error.rethrow_if_error();
     }
     run.manifest.outcome = RunOutcome::kPartial;
   }

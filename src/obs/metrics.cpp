@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace gridtrust::obs {
 
@@ -14,14 +15,14 @@ namespace {
 /// Process-wide append-only name table.  Ids are stable for the lifetime of
 /// the process, so handles stay valid across registry installs.
 struct Interner {
-  std::mutex mutex;
-  std::unordered_map<std::string, std::uint32_t> by_name;
+  Mutex mutex;
+  std::unordered_map<std::string, std::uint32_t> by_name GT_GUARDED_BY(mutex);
   struct Info {
     std::string name;
     MetricKind kind;
     std::vector<double> bounds;
   };
-  std::vector<Info> infos;
+  std::vector<Info> infos GT_GUARDED_BY(mutex);
 };
 
 Interner& interner() {
@@ -124,7 +125,7 @@ std::uint32_t intern(std::string_view name, MetricKind kind,
                "histogram bucket bounds must be sorted ascending");
   }
   Interner& table = interner();
-  std::lock_guard<std::mutex> lock(table.mutex);
+  const MutexLock lock(&table.mutex);
   const auto it = table.by_name.find(std::string(name));
   if (it != table.by_name.end()) {
     const Interner::Info& info = table.infos[it->second];
@@ -150,13 +151,13 @@ MetricsRegistry::~MetricsRegistry() {
 }
 
 detail::Shard* MetricsRegistry::attach_shard() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   shards_.push_back(std::make_unique<detail::Shard>());
   return shards_.back().get();
 }
 
 std::size_t MetricsRegistry::shard_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return shards_.size();
 }
 
@@ -170,7 +171,7 @@ Snapshot MetricsRegistry::snapshot() const {
   std::vector<NameInfo> names;
   {
     detail::Interner& table = detail::interner();
-    std::lock_guard<std::mutex> lock(table.mutex);
+    const MutexLock lock(&table.mutex);
     names.reserve(table.infos.size());
     for (const auto& info : table.infos) {
       names.push_back(NameInfo{info.name, info.kind, info.bounds});
@@ -178,7 +179,7 @@ Snapshot MetricsRegistry::snapshot() const {
   }
 
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   for (std::uint32_t id = 0; id < names.size(); ++id) {
     const NameInfo& info = names[id];
     switch (info.kind) {
@@ -259,7 +260,7 @@ void Histogram::observe(double value) const {
     std::vector<double> bounds;
     {
       detail::Interner& table = detail::interner();
-      std::lock_guard<std::mutex> lock(table.mutex);
+      const MutexLock lock(&table.mutex);
       bounds = table.infos[id_].bounds;
     }
     hist = new detail::Shard::HistCell(std::move(bounds));

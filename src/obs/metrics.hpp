@@ -36,10 +36,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace gridtrust::obs {
 
@@ -148,18 +150,20 @@ class MetricsRegistry {
 
   /// Merges every shard.  Safe to call while recording threads are live
   /// (their in-flight updates land in a later snapshot).
-  Snapshot snapshot() const;
+  Snapshot snapshot() const GT_EXCLUDES(mutex_);
 
   /// Number of thread shards attached so far.
-  std::size_t shard_count() const;
+  std::size_t shard_count() const GT_EXCLUDES(mutex_);
 
   /// Internal: creates and adopts a shard for the calling thread.  Called
   /// by the recording machinery; not part of the public surface.
-  detail::Shard* attach_shard();
+  detail::Shard* attach_shard() GT_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<detail::Shard>> shards_;
+  /// Guards the shard list only; the cells inside each shard are lock-free
+  /// (relaxed atomics, see detail::Shard).
+  mutable gridtrust::Mutex mutex_;
+  std::vector<std::unique_ptr<detail::Shard>> shards_ GT_GUARDED_BY(mutex_);
 };
 
 /// Installs `registry` as the process-wide collection target (nullptr

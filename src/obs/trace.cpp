@@ -26,10 +26,10 @@ thread_local TraceThreadCache t_trace_cache;
 /// except while a drain is in progress), so drains are exact for quiescent
 /// threads and merely lossy for active ones.
 struct TraceSink::Ring {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;  // capacity fixed at attach
-  std::size_t next = 0;            // ring write cursor
-  std::uint64_t total = 0;         // lifetime appends
+  Mutex mutex;
+  std::vector<TraceEvent> events GT_GUARDED_BY(mutex);  // capacity: attach
+  std::size_t next GT_GUARDED_BY(mutex) = 0;   // ring write cursor
+  std::uint64_t total GT_GUARDED_BY(mutex) = 0;  // lifetime appends
 };
 
 TraceSink::TraceSink(std::size_t capacity_per_thread)
@@ -43,7 +43,7 @@ TraceSink::~TraceSink() {
 }
 
 TraceSink::Ring* TraceSink::attach_ring() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto ring = std::make_unique<Ring>();
   ring->events.reserve(capacity_);
   rings_.push_back(std::move(ring));
@@ -52,9 +52,9 @@ TraceSink::Ring* TraceSink::attach_ring() {
 
 std::vector<TraceEvent> TraceSink::drain() {
   std::vector<TraceEvent> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   for (const std::unique_ptr<Ring>& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const MutexLock ring_lock(&ring->mutex);
     // Oldest-first: the ring holds the last `size` events; when it wrapped,
     // `next` points at the oldest entry.
     const std::size_t size = ring->events.size();
@@ -82,9 +82,9 @@ void TraceSink::flush_jsonl(std::ostream& os) {
 
 std::uint64_t TraceSink::recorded() const {
   std::uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   for (const std::unique_ptr<Ring>& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const MutexLock ring_lock(&ring->mutex);
     total += ring->total;
   }
   return total;
@@ -118,7 +118,7 @@ void trace(const char* name, double a, double b) {
           std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
               .count()),
       name, a, b};
-  std::lock_guard<std::mutex> lock(ring->mutex);
+  const MutexLock lock(&ring->mutex);
   if (ring->events.size() < sink->capacity_) {
     ring->events.push_back(event);
   } else {

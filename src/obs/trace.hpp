@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace gridtrust::obs {
 
@@ -42,24 +44,25 @@ class TraceSink {
   /// Drains every ring into one time-ordered list (oldest first).  Entries
   /// recorded concurrently with the drain may be missed; quiesce recording
   /// threads for an exact drain.
-  std::vector<TraceEvent> drain();
+  std::vector<TraceEvent> drain() GT_EXCLUDES(mutex_);
 
   /// Drains and writes one JSON object per line:
   ///   {"t_ns":1234,"name":"des.event","a":1.0,"b":0.0}
   void flush_jsonl(std::ostream& os);
 
   /// Total events recorded (including overwritten ones).
-  std::uint64_t recorded() const;
+  std::uint64_t recorded() const GT_EXCLUDES(mutex_);
 
  private:
   friend void trace(const char* name, double a, double b);
   struct Ring;
-  Ring* attach_ring();
+  Ring* attach_ring() GT_EXCLUDES(mutex_);
 
   std::size_t capacity_;
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  /// Guards the ring list; each ring carries its own mutex for appends.
+  mutable gridtrust::Mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ GT_GUARDED_BY(mutex_);
 };
 
 /// Installs `sink` as the process-wide trace target (nullptr disables).

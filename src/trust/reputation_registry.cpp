@@ -1,10 +1,10 @@
 #include "trust/reputation_registry.hpp"
 
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "trust/beta_policy.hpp"
 #include "trust/gamma_policy.hpp"
 
@@ -15,15 +15,18 @@ namespace {
 constexpr const char* kPurgePrefix = "purge:";
 
 struct Registry {
-  std::mutex mutex;
+  Mutex mutex;
   // Ordered map: names() iterates deterministically.
-  std::map<std::string, ReputationFactory> factories;
+  std::map<std::string, ReputationFactory> factories GT_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
   static Registry& instance = *new Registry;  // leaked: immune to static
                                               // destruction order issues
   static const bool initialized = [] {
+    // Magic-static init is single-threaded, but the built-in registrations
+    // take the lock anyway so the guarded_by contract holds on every path.
+    const MutexLock lock(&instance.mutex);
     instance.factories["gamma"] = [](const ReputationParams& params) {
       return std::make_unique<GammaReputationPolicy>(
           params.gamma, params.entities, params.contexts);
@@ -44,7 +47,7 @@ Registry& registry() {
 
 ReputationFactory find_factory(const std::string& name) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(&r.mutex);
   const auto it = r.factories.find(name);
   return it != r.factories.end() ? it->second : ReputationFactory{};
 }
@@ -84,7 +87,7 @@ void register_reputation_backend(const std::string& name,
              "the purge: composite prefix is reserved");
   GT_REQUIRE(factory != nullptr, "backend factory must not be null");
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(&r.mutex);
   GT_REQUIRE(!r.factories.count(name),
              "reputation backend already registered: " + name);
   r.factories[name] = std::move(factory);
@@ -92,7 +95,7 @@ void register_reputation_backend(const std::string& name,
 
 std::vector<std::string> reputation_backend_names() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(&r.mutex);
   std::vector<std::string> names;
   names.reserve(r.factories.size());
   for (const auto& [name, factory] : r.factories) names.push_back(name);

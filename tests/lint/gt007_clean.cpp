@@ -1,0 +1,44 @@
+// gt-lint-fixture: path=src/sched/gt007_clean.cpp expect=none
+// Clean shapes: annotated guarded members, a mutex-only wrapper with no
+// data to guard, a guard-free class of atomics, and an annotated
+// gridtrust::Mutex member.
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+
+namespace gridtrust {
+
+class AnnotatedCache {
+ public:
+  int lookup(const std::string& key);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, int> entries_ GT_GUARDED_BY(mutex_);
+  int hits_ GT_GUARDED_BY(mutex_) = 0;
+};
+
+class BareLock {
+ public:
+  void lock();
+  void unlock();
+
+ private:
+  std::mutex mutex_;
+};
+
+struct Counters {
+  std::atomic<int> hits{0};
+  std::atomic<int> misses{0};
+};
+
+struct WrappedTable {
+  Mutex mutex;
+  std::map<std::string, double> rows GT_GUARDED_BY(mutex);
+};
+
+}  // namespace gridtrust

@@ -1,0 +1,25 @@
+// gt-lint-fixture: path=src/sched/gt007_violate.cpp expect=GT007:15,GT007:21
+// A mutex member next to unannotated data: the lock/data association is
+// invisible to the Clang thread-safety analysis, so GT007 flags the mutex.
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gridtrust {
+
+class UnannotatedCache {
+ public:
+  int lookup(const std::string& key);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, int> entries_;
+  int hits_ = 0;
+};
+
+struct SharedTable {
+  mutable std::shared_mutex mutex;
+  std::map<std::string, double> rows;
+};
+
+}  // namespace gridtrust

@@ -1,0 +1,2 @@
+#include "base/util.hpp"
+int main() { return base_util(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int base_util() { return 1; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "app/logic.hpp"
+inline int base_util() { return app_logic(); }

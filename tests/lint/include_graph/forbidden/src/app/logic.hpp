@@ -1,0 +1,2 @@
+#pragma once
+inline int app_logic() { return 2; }

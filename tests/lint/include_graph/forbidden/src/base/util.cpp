@@ -1,0 +1,2 @@
+#include "app/logic.hpp"
+int base_util() { return app_logic(); }
